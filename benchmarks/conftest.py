@@ -1,0 +1,26 @@
+"""Benchmark suite configuration.
+
+Each benchmark regenerates one table/figure of the paper at a reduced
+default scale (see EXPERIMENTS.md for paper-scale instructions), prints
+the resulting series, asserts the figure's shape checks, and records key
+simulated metrics in the pytest-benchmark ``extra_info``.
+
+The *host* time measured by pytest-benchmark is the simulator's own cost
+to regenerate the figure — useful for tracking harness regressions; the
+scientific output is the printed table and the extra_info metrics.
+"""
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print a figure result prominently inside benchmark output."""
+    print()
+    print(result.text)
+    if result.checks:
+        print("shape checks:", result.checks)
+
+
+def assert_checks(result) -> None:
+    failed = [k for k, ok in result.checks.items() if not ok]
+    assert not failed, f"{result.figure}: failed shape checks {failed}"

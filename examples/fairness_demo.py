@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Writer starvation demo: fair LCU queueing vs SSB reader preference.
+
+A handful of writers compete with a flood of readers on one RW lock.
+With the SSB, readers join any active read run, so the lock can stay in
+read mode indefinitely and writers starve (the unfairness the paper
+calls out).  The LCU's distributed FIFO queue guarantees every writer is
+serviced — while still letting consecutive readers share.
+
+Prints per-class completion counts and the worst writer wait time.
+"""
+
+import argparse
+
+from repro import Machine, OS, model_a
+from repro.cpu import ops
+from repro.locks import get_algorithm
+from repro.sim.stats import Histogram
+
+
+def run(lock_name: str, readers: int, writers: int, duration: int):
+    machine = Machine(model_a())
+    os_ = OS(machine)
+    algo = get_algorithm(lock_name)(machine)
+    handle = algo.make_lock()
+    counts = {"r": 0, "w": 0}
+    writer_wait = Histogram(bucket_width=500)
+
+    def reader(thread):
+        while machine.sim.now < duration:
+            yield from algo.lock(thread, handle, False)
+            yield ops.Compute(80)
+            counts["r"] += 1
+            yield from algo.unlock(thread, handle, False)
+            yield ops.Compute(10)
+
+    def writer(thread):
+        while machine.sim.now < duration:
+            t0 = machine.sim.now
+            yield from algo.lock(thread, handle, True)
+            writer_wait.add(machine.sim.now - t0)
+            yield ops.Compute(80)
+            counts["w"] += 1
+            yield from algo.unlock(thread, handle, True)
+            yield ops.Compute(10)
+
+    for _ in range(readers):
+        os_.spawn(reader)
+    for _ in range(writers):
+        os_.spawn(writer)
+    os_.run_all()
+    return counts, writer_wait
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--readers", type=int, default=12)
+    parser.add_argument("--writers", type=int, default=4)
+    parser.add_argument("--duration", type=int, default=150_000)
+    args = parser.parse_args()
+
+    print(f"{args.readers} readers vs {args.writers} writers, "
+          f"{args.duration} cycles\n")
+    for lock in ("lcu", "ssb"):
+        counts, wait = run(lock, args.readers, args.writers, args.duration)
+        total = counts["r"] + counts["w"]
+        share = counts["w"] / total if total else 0.0
+        print(f"{lock:4s}: readers {counts['r']:5d}  "
+              f"writers {counts['w']:4d}  (writer share {share:5.1%})  "
+              f"writer wait p95 {wait.percentile(95):.0f} cyc, "
+              f"max {wait.acc.max or 0:.0f} cyc")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Transactional data structures over LCU reader-writer locks.
+
+Runs the paper's STM workload (75% lookups, 25% updates) against a
+red-black tree, skip list or hash table, under any of the four STM
+variants, and reports throughput, the app/commit phase split, and the
+abort rate — the quantities dissected in the paper's Figure 11.
+
+Try:
+    python examples/stm_set.py --variant sw-only --threads 16
+    python examples/stm_set.py --variant lcu     --threads 16
+and watch the commit phase shrink.
+"""
+
+import argparse
+import random
+
+from repro import Machine, OS, model_a, model_b
+from repro.cpu import ops
+from repro.stm.core import ObjectSTM
+from repro.stm.direct import populate, run_direct
+from repro.stm.structures.hashtable import HashTable
+from repro.stm.structures.rbtree import RBTree
+from repro.stm.structures.skiplist import SkipList
+
+STRUCTS = {"rb": RBTree, "skip": SkipList, "hash": HashTable}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--variant", default="lcu",
+                        choices=sorted(ObjectSTM.VARIANTS))
+    parser.add_argument("--structure", default="rb",
+                        choices=sorted(STRUCTS))
+    parser.add_argument("--model", default="A", choices=["A", "B"])
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--size", type=int, default=512)
+    parser.add_argument("--txns", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    machine = Machine(model_a() if args.model == "A" else model_b())
+    stm = ObjectSTM(machine, args.variant)
+    struct = STRUCTS[args.structure](stm)
+    key_range = 2 * args.size
+    populate(stm, struct, range(0, key_range, 2))
+
+    os_ = OS(machine)
+
+    def worker_factory(index: int):
+        def worker(thread):
+            rng = random.Random(args.seed * 1_000 + index)
+            for _ in range(args.txns):
+                key = rng.randrange(key_range)
+                p = rng.random()
+                if p < 0.75:
+                    body = lambda tx, k=key: struct.contains(tx, k)  # noqa: E731
+                elif p < 0.875:
+                    body = lambda tx, k=key: struct.insert(tx, k)  # noqa: E731
+                else:
+                    body = lambda tx, k=key: struct.remove(tx, k)  # noqa: E731
+                yield from stm.run(thread, body)
+                yield ops.Compute(rng.randint(1, 30))
+        return worker
+
+    for i in range(args.threads):
+        os_.spawn(worker_factory(i))
+    elapsed = os_.run_all()
+
+    s = stm.stats
+    print(f"{args.variant} STM, {args.structure}, model {args.model}, "
+          f"{args.threads} threads, {args.size} initial keys")
+    print(f"  {s.commits} txns in {elapsed} cycles "
+          f"({elapsed * args.threads / s.commits:.0f} cycles/txn)")
+    print(f"  phase split: app {s.app_cycles / s.commits:.0f} + "
+          f"commit {s.commit_cycles / s.commits:.0f} cycles/txn")
+    print(f"  abort rate: {s.abort_rate:.1%}")
+    final = run_direct(stm, lambda tx: struct.snapshot_keys(tx))
+    print(f"  final structure size: {len(final)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim: lets ``pip install -e .`` fall back to the legacy
+setuptools path on environments without the ``wheel`` package (all real
+metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

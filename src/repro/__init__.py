@@ -1,0 +1,51 @@
+"""repro — behavioral reproduction of *Architectural Support for Fair
+Reader-Writer Locking* (Vallejo et al., MICRO 2010).
+
+The package provides:
+
+* :mod:`repro.lcu` — the paper's Lock Control Unit / Lock Reservation
+  Table fair reader-writer locking architecture;
+* :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.mem`, :mod:`repro.cpu`
+  — the behavioral multiprocessor simulation substrate (Models A and B);
+* :mod:`repro.locks` — software lock baselines (TAS, TATAS, ticket, MCS,
+  MRSW, Krieger RW, Posix-mutex model);
+* :mod:`repro.ssb` — the Synchronization State Buffer hardware baseline;
+* :mod:`repro.stm` — an object-based STM (sw-only / LCU / SSB / Fraser
+  variants) with transactional RB-tree, skip list and hash table;
+* :mod:`repro.apps` — Fluidanimate / Cholesky / Radiosity workload models;
+* :mod:`repro.harness` — drivers that regenerate every table and figure
+  of the paper's evaluation (see EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import Machine, model_a, OS
+    from repro.lcu import api
+    from repro.cpu import ops
+
+    m = Machine(model_a())
+    os_ = OS(m)
+    lock_addr = m.alloc.alloc_line()
+
+    def worker(thread):
+        for _ in range(10):
+            yield from api.lock(lock_addr, write=True)
+            yield ops.Compute(50)          # critical section
+            yield from api.unlock(lock_addr, write=True)
+
+    for _ in range(4):
+        os_.spawn(worker)
+    os_.run_all()
+    print("finished at cycle", m.sim.now)
+"""
+
+from repro.cpu.machine import Machine
+from repro.cpu.os_sched import OS, SimThread
+from repro.params import MachineConfig, model_a, model_b, small_test_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine", "OS", "SimThread",
+    "MachineConfig", "model_a", "model_b", "small_test_model",
+    "__version__",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``      — print the paper's Figure 1 / Figure 8 tables.
+* ``microbench``  — the single-lock critical-section benchmark.
+* ``stm``         — the STM data-structure benchmark.
+* ``app``         — one application kernel under one lock model.
+* ``figure``      — regenerate a paper figure (fig9a .. fig13).
+* ``locks``       — list registered lock algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.base import all_apps, run_app
+from repro.harness import figures
+from repro.harness.microbench import run_microbench
+from repro.harness.stm_bench import STRUCTURES, run_stm_bench
+from repro.harness.tables import figure1_table, figure8_table
+from repro.locks.base import all_algorithms
+from repro.params import model_a, model_b
+from repro.stm.core import ObjectSTM
+
+_FIGURES = {
+    "fig9a": lambda s: figures.figure9("A", iters_per_thread=100 * s),
+    "fig9b": lambda s: figures.figure9("B", write_ratios=(100, 50),
+                                       iters_per_thread=100 * s),
+    "fig10a": lambda s: figures.figure10(
+        "A", thread_counts=(8, 16, 32, 48),
+        iters_per_thread=30 * s, quantum=20_000,
+    ),
+    "fig10b": lambda s: figures.figure10(
+        "B", thread_counts=(4, 8, 16, 32), iters_per_thread=60 * s,
+        locks=("lcu", "mcs", "mrsw", "tatas"),
+    ),
+    "fig11a": lambda s: figures.figure11("A", txns_per_thread=40 * s),
+    "fig11b": lambda s: figures.figure11(
+        "B", thread_counts=(1, 4, 8, 16), txns_per_thread=30 * s,
+    ),
+    "fig12a": lambda s: figures.figure12(
+        "A", sizes={"rb": 2_048 * s, "skip": 2_048 * s, "hash": 8_192 * s},
+        txns_per_thread=30 * s,
+    ),
+    "fig12b": lambda s: figures.figure12(
+        "B", sizes={"rb": 1_024 * s, "skip": 1_024 * s, "hash": 4_096 * s},
+        txns_per_thread=25 * s,
+    ),
+    "fig13": lambda s: figures.figure13(seeds=tuple(range(1, 3 + s))),
+}
+
+
+def _model(name: str):
+    return model_a() if name.upper() == "A" else model_b()
+
+
+def cmd_tables(_args) -> int:
+    print(figure1_table())
+    print()
+    print(figure8_table())
+    return 0
+
+
+def cmd_locks(_args) -> int:
+    for name, cls in sorted(all_algorithms().items()):
+        kind = "HW" if cls.hardware else "SW"
+        rw = "RW" if cls.rw_support else "mutex"
+        print(f"{name:8s} [{kind}, {rw}] {cls.__doc__.splitlines()[0] if cls.__doc__ else ''}")
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    r = run_microbench(
+        _model(args.model), args.lock, args.threads, args.write_pct,
+        iters_per_thread=args.iters,
+    )
+    print(r)
+    print(f"  fairness={r.fairness:.3f} acquire latency mean="
+          f"{r.acquire_latency_mean:.0f} hub util={r.hub_utilisation:.2f}")
+    return 0
+
+
+def cmd_stm(args) -> int:
+    r = run_stm_bench(
+        _model(args.model), args.variant, args.structure,
+        threads=args.threads, initial_size=args.size,
+        txns_per_thread=args.txns,
+    )
+    print(r)
+    return 0
+
+
+def cmd_app(args) -> int:
+    r = run_app(_model(args.model), args.name, args.lock,
+                threads=args.threads, seeds=list(range(1, args.seeds + 1)))
+    print(r)
+    return 0
+
+
+def cmd_figure(args) -> int:
+    result = _FIGURES[args.name](args.scale)
+    print(result.text)
+    if result.checks:
+        ok = all(result.checks.values())
+        print(f"shape checks [{'OK' if ok else 'MISMATCH'}]:",
+              result.checks)
+        return 0 if ok else 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables").set_defaults(fn=cmd_tables)
+    sub.add_parser("locks").set_defaults(fn=cmd_locks)
+
+    mb = sub.add_parser("microbench")
+    mb.add_argument("--lock", default="lcu",
+                    choices=sorted(all_algorithms()))
+    mb.add_argument("--model", default="A", choices=["A", "B"])
+    mb.add_argument("--threads", type=int, default=16)
+    mb.add_argument("--write-pct", type=int, default=100)
+    mb.add_argument("--iters", type=int, default=150)
+    mb.set_defaults(fn=cmd_microbench)
+
+    st = sub.add_parser("stm")
+    st.add_argument("--variant", default="lcu",
+                    choices=sorted(ObjectSTM.VARIANTS))
+    st.add_argument("--structure", default="rb",
+                    choices=sorted(STRUCTURES))
+    st.add_argument("--model", default="A", choices=["A", "B"])
+    st.add_argument("--threads", type=int, default=8)
+    st.add_argument("--size", type=int, default=512)
+    st.add_argument("--txns", type=int, default=40)
+    st.set_defaults(fn=cmd_stm)
+
+    ap = sub.add_parser("app")
+    ap.add_argument("--name", default="fluidanimate",
+                    choices=sorted(all_apps()))
+    ap.add_argument("--lock", default="lcu",
+                    choices=sorted(all_algorithms()))
+    ap.add_argument("--model", default="A", choices=["A", "B"])
+    ap.add_argument("--threads", type=int, default=0)
+    ap.add_argument("--seeds", type=int, default=3)
+    ap.set_defaults(fn=cmd_app)
+
+    fig = sub.add_parser("figure")
+    fig.add_argument("name", choices=sorted(_FIGURES))
+    fig.add_argument("--scale", type=int, default=1)
+    fig.set_defaults(fn=cmd_figure)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

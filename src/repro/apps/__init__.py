@@ -1,0 +1,11 @@
+"""Application workload kernels (Fluidanimate / Cholesky / Radiosity)."""
+
+from repro.apps.base import AppResult, all_apps, run_app
+from repro.apps.cholesky import Cholesky
+from repro.apps.fluidanimate import Fluidanimate
+from repro.apps.radiosity import Radiosity
+
+__all__ = [
+    "AppResult", "all_apps", "run_app",
+    "Cholesky", "Fluidanimate", "Radiosity",
+]

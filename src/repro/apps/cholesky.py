@@ -1,0 +1,50 @@
+"""Cholesky workload kernel: task-pool factorization, compute-bound.
+
+The Splash Cholesky factorization spends its time in large numerical
+tasks pulled from a shared pool; lock operations are rare relative to
+task compute, so the lock implementation barely moves the bottom line —
+the paper's Figure 13 shows all three systems within the error bars.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.cpu import ops
+from repro.apps.base import AppKernel, register_app
+
+
+@register_app
+class Cholesky(AppKernel):
+    name = "cholesky"
+    default_threads = 16
+
+    TASKS = 160
+    TASK_COMPUTE = (10_000, 22_000)  # cycles per numeric task
+    SPAWN_PROB = 0.25                # tasks that enqueue a follow-up task
+
+    def __init__(self, machine, algo, threads, seed) -> None:
+        super().__init__(machine, algo, threads, seed)
+        self.queue_lock = algo.make_lock()
+        self.queue_len = machine.alloc.alloc_line()
+        machine.mem.poke(self.queue_len, self.TASKS)
+
+    def worker(self, thread, index: int) -> Generator:
+        rng = random.Random(self.seed * 887 + index)
+        algo = self.algo
+        while True:
+            yield from algo.lock(thread, self.queue_lock, True)
+            n = yield ops.Load(self.queue_len)
+            if n > 0:
+                yield ops.Store(self.queue_len, n - 1)
+            yield from algo.unlock(thread, self.queue_lock, True)
+            if n <= 0:
+                return
+            # the numeric task itself (dwarfs the locking)
+            yield ops.Compute(rng.randint(*self.TASK_COMPUTE))
+            if rng.random() < self.SPAWN_PROB:
+                yield from algo.lock(thread, self.queue_lock, True)
+                cur = yield ops.Load(self.queue_len)
+                yield ops.Store(self.queue_len, cur + 1)
+                yield from algo.unlock(thread, self.queue_lock, True)

@@ -1,0 +1,78 @@
+"""Radiosity workload kernel: per-thread task queues with rare stealing.
+
+The Splash radiosity app keeps a private task queue per thread, each
+protected by a lock.  Almost every lock access is a thread re-acquiring
+its *own* queue's lock; only when a thread runs dry does it touch remote
+queues to steal work.  A software lock's line stays in the owner's L1
+("implicit biasing"), so each acquire costs an L1 hit — while the base
+LCU pays LRT round trips for every acquire/release.  This is the one
+workload where the paper's Figure 13 shows the LCU *losing* to software
+locks, motivating the Free Lock Table (run with ``flt_entries > 0`` to
+see the bias restored — the FLT ablation bench does exactly that).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.cpu import ops
+from repro.apps.base import AppKernel, register_app
+
+
+@register_app
+class Radiosity(AppKernel):
+    name = "radiosity"
+    default_threads = 16
+
+    TASKS_PER_THREAD = 60
+    TASK_COMPUTE = (80, 220)    # small tasks: lock overhead is visible
+    STEAL_BATCH = 4
+
+    def __init__(self, machine, algo, threads, seed) -> None:
+        super().__init__(machine, algo, threads, seed)
+        self.queue_locks = [algo.make_lock() for _ in range(threads)]
+        self.queue_lens = [
+            machine.alloc.alloc_line() for _ in range(threads)
+        ]
+        for q in self.queue_lens:
+            machine.mem.poke(q, self.TASKS_PER_THREAD)
+
+    def worker(self, thread, index: int) -> Generator:
+        rng = random.Random(self.seed * 431 + index)
+        algo = self.algo
+        my_lock = self.queue_locks[index]
+        my_len = self.queue_lens[index]
+
+        while True:
+            # fast path: pop from the private queue (the biased pattern)
+            yield from algo.lock(thread, my_lock, True)
+            n = yield ops.Load(my_len)
+            if n > 0:
+                yield ops.Store(my_len, n - 1)
+            yield from algo.unlock(thread, my_lock, True)
+            if n > 0:
+                yield ops.Compute(rng.randint(*self.TASK_COMPUTE))
+                continue
+            # dry: try to steal a batch from one random victim
+            stolen = 0
+            victim = rng.randrange(self.threads)
+            if victim != index:
+                yield from algo.lock(
+                    thread, self.queue_locks[victim], True
+                )
+                vn = yield ops.Load(self.queue_lens[victim])
+                stolen = min(self.STEAL_BATCH, vn)
+                if stolen:
+                    yield ops.Store(self.queue_lens[victim], vn - stolen)
+                yield from algo.unlock(
+                    thread, self.queue_locks[victim], True
+                )
+            if stolen == 0:
+                # one failed steal round ends the thread (load imbalance
+                # tail is not the point of the kernel)
+                return
+            yield from algo.lock(thread, my_lock, True)
+            cur = yield ops.Load(my_len)
+            yield ops.Store(my_len, cur + stolen)
+            yield from algo.unlock(thread, my_lock, True)

@@ -1,0 +1,26 @@
+"""Cores, software threads and the OS scheduling model."""
+
+from repro.cpu.ops import (
+    Compute,
+    FutexWait,
+    FutexWake,
+    LcuAcq,
+    LcuEnq,
+    LcuRel,
+    LcuWait,
+    Load,
+    Rmw,
+    SleepFor,
+    SsbAcq,
+    SsbRel,
+    Store,
+    WaitLine,
+    YieldCPU,
+)
+from repro.cpu.os_sched import OS, SimThread
+
+__all__ = [
+    "Compute", "Load", "Store", "Rmw", "WaitLine", "YieldCPU", "SleepFor",
+    "FutexWait", "FutexWake", "LcuAcq", "LcuRel", "LcuEnq", "LcuWait",
+    "SsbAcq", "SsbRel", "OS", "SimThread",
+]

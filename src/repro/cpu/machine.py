@@ -1,0 +1,116 @@
+"""Machine assembly: wires simulator, network, memory, LCUs, LRTs, SSB.
+
+A :class:`Machine` is one simulated multiprocessor built from a
+:class:`~repro.params.MachineConfig` (Model A, Model B, or a test model).
+Endpoints on the interconnect:
+
+* ``("core", i)`` — core *i* and its collocated LCU (lock messages) plus
+  the L1 fill target (coherence replies).
+* ``("dir", j)`` — the directory slice at memory controller *j*.
+* ``("lrt", j)`` — the Lock Reservation Table at memory controller *j*.
+* ``("ssb", j)`` — the SSB bank at controller *j* (baseline hardware).
+"""
+
+from __future__ import annotations
+
+from repro.lcu import messages as lcu_msgs
+from repro.lcu.lcu import LockControlUnit, ProtocolError
+from repro.lcu.lrt import LockReservationTable
+from repro.mem.memory import Allocator, MemorySystem
+from repro.net.network import Endpoint, Network
+from repro.params import MachineConfig
+from repro.sim.engine import Simulator
+from repro.ssb.ssb import SSB
+
+_LCU_MESSAGE_TYPES = (
+    lcu_msgs.Grant, lcu_msgs.FwdRequest, lcu_msgs.WaitMsg, lcu_msgs.Retry,
+    lcu_msgs.ReleaseAck, lcu_msgs.ReleaseRetry, lcu_msgs.Dealloc,
+    lcu_msgs.OvfClear, lcu_msgs.RemoteRelease, lcu_msgs.RemoteReleaseAck,
+)
+
+
+class Machine:
+    """One simulated multiprocessor instance."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.net = Network(self.sim, config, self._chip_of)
+        self.alloc = Allocator(config.line_size)
+
+        # Cores / LCU endpoints first (memory + LRTs send to them).
+        self.lcus = []
+        for i in range(config.cores):
+            self.net.register(("core", i), self._core_handler(i))
+
+        self.mem = MemorySystem(
+            self.sim, config, self.net,
+            core_endpoint=lambda i: ("core", i),
+            dir_endpoint=lambda j: ("dir", j),
+        )
+
+        self.lrts = []
+        for j in range(config.num_lrts):
+            lrt = LockReservationTable(
+                self.sim, config, self.net, j, ("lrt", j),
+                memory_touch=self.mem.memory_touch,
+            )
+            self.net.register(("lrt", j), lrt.on_message)
+            self.lrts.append(lrt)
+
+        for i in range(config.cores):
+            self.lcus.append(
+                LockControlUnit(
+                    self.sim, config, self.net, i, ("core", i),
+                    lrt_endpoint_of=lambda addr: ("lrt", self.mem.home_of(addr)),
+                )
+            )
+
+        self.ssb = SSB(self.sim, config, self.net)
+
+    # ------------------------------------------------------------------ #
+
+    def _chip_of(self, ep: Endpoint) -> int:
+        kind, idx = ep
+        if kind == "core":
+            return self.config.chip_of_core(idx)
+        # memory-controller-side units: spread controllers over chips
+        return idx * self.config.chips // self.config.num_lrts
+
+    def _core_handler(self, core: int):
+        def handler(src: Endpoint, payload: object) -> None:
+            if isinstance(payload, _LCU_MESSAGE_TYPES):
+                self.lcus[core].on_message(src, payload)
+            elif isinstance(payload, tuple) and payload and payload[0] in (
+                "fill", "ssb-reply",
+            ):
+                pass  # handled by the send's on_deliver callback
+            else:
+                raise ProtocolError(
+                    f"core {core}: unexpected payload {payload!r}"
+                )
+
+        return handler
+
+    def drain(self, max_cycles: int = 200_000) -> None:
+        """Let in-flight protocol traffic settle (bounded, so stale OS
+        slice timers parked far in the future do not advance the clock)."""
+        self.sim.run(until=self.sim.now + max_cycles)
+
+    # ------------------------------------------------------------------ #
+    # invariant checking (used heavily by the test suite)
+
+    def check_lock_invariants(self) -> None:
+        """Assert cross-unit protocol invariants at the current instant."""
+        for lrt in self.lrts:
+            for s in lrt._sets.values():
+                for e in s.values():
+                    assert e.reader_cnt >= 0, f"negative reader_cnt: {e!r}"
+                    assert e.writers_waiting >= 0, f"negative ww: {e!r}"
+                    assert (e.head is None) == (e.tail is None), (
+                        f"half-empty queue pointers: {e!r}"
+                    )
+
+    def total_lcu_entries_in_use(self) -> int:
+        return sum(lcu.entries_in_use for lcu in self.lcus)

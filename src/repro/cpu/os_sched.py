@@ -1,0 +1,353 @@
+"""OS scheduling model: cores, timeslice preemption, migration, futexes.
+
+Thread programs are generators yielding :mod:`repro.cpu.ops` records.  The
+scheduler multiplexes them over the machine's cores:
+
+* With as many cores as runnable threads, every thread keeps its core and
+  nothing is ever preempted (the paper's <=32-thread configurations).
+* With more threads than cores, a round-robin timeslice preempts running
+  (or *spinning*) threads, and a rescheduled thread may land on any idle
+  core — this yields both the preemption anomaly of queue-based software
+  locks (Figure 10, >32 threads) and the thread-migration scenarios the
+  LCU's grant timer is designed for (paper Section III-C).
+
+Spin-style waits (``WaitLine``, ``LcuWait``) hold the core while waiting,
+like real spinning does; ``SleepFor``/``FutexWait`` release it, like a
+Posix mutex's slow path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional
+
+from repro.cpu import ops
+from repro.mem.memory import READ, RMW, WRITE
+
+RUNNING = "running"
+READY = "ready"
+WAITING = "waiting"    # futex / sleep — core released
+DONE = "done"
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while threads were still incomplete."""
+
+
+class SimThread:
+    """A software thread: identity, program generator and bookkeeping."""
+
+    def __init__(self, tid: int, name: str) -> None:
+        self.tid = tid
+        self.name = name
+        self.gen: Optional[Generator] = None
+        self.state = READY
+        self.core: Optional[int] = None
+        self.last_core: Optional[int] = None
+        self.resume_value: Any = None
+        self.cancel_wait: Optional[Callable[[], None]] = None
+        self.preempt_pending = False
+        self.slice_end = 0
+        self.epoch = 0          # bumped per dispatch (guards slice timers)
+        self.op_seq = 0         # bumped per op issued (guards completions)
+        self.current_op: Optional[ops.Op] = None
+        self.preemptions = 0
+        self.migrations = 0
+        self.stats: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimThread({self.name}, tid={self.tid}, state={self.state}, "
+            f"core={self.core}, op={self.current_op})"
+        )
+
+
+class OS:
+    """Scheduler tying thread programs to a machine's hardware."""
+
+    def __init__(
+        self,
+        machine,
+        quantum: Optional[int] = None,
+        prefer_affinity: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.quantum = quantum if quantum is not None else machine.config.timeslice
+        self.prefer_affinity = prefer_affinity
+
+        self.threads: List[SimThread] = []
+        self.ready: Deque[SimThread] = deque()
+        self.idle_cores: List[int] = list(range(machine.config.cores))
+        self.active = 0
+        self._futex: Dict[int, Deque[SimThread]] = {}
+        self._next_tid = 1
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    def spawn(
+        self,
+        program_factory: Callable[[SimThread], Generator],
+        name: Optional[str] = None,
+    ) -> SimThread:
+        """Create a thread running ``program_factory(thread)``."""
+        tid = self._next_tid
+        self._next_tid += 1
+        t = SimThread(tid, name or f"t{tid}")
+        t.gen = program_factory(t)
+        self.threads.append(t)
+        self.active += 1
+        self.ready.append(t)
+        # Defer the initial dispatch so spawning inside an event is safe.
+        self.sim.after(0, self._dispatch)
+        return t
+
+    def run_all(self, max_cycles: Optional[int] = None) -> int:
+        """Run until every spawned thread finishes.  Returns the finish
+        time.  Raises :class:`DeadlockError` on a stuck simulation."""
+        self.sim.run(until=max_cycles, stop_when=lambda: self.active == 0)
+        if self.active > 0:
+            pending = [t for t in self.threads if t.state != DONE]
+            raise DeadlockError(
+                f"{len(pending)} thread(s) incomplete at cycle "
+                f"{self.sim.now}: {pending[:8]}"
+            )
+        return self.sim.now
+
+    # ------------------------------------------------------------------ #
+    # dispatching
+
+    def _dispatch(self) -> None:
+        while self.ready and self.idle_cores:
+            t = self.ready.popleft()
+            core = self._pick_core(t)
+            self._assign(t, core)
+
+    def _pick_core(self, t: SimThread) -> int:
+        if self.prefer_affinity and t.last_core in self.idle_cores:
+            core = t.last_core
+        else:
+            core = self.idle_cores[0]
+        self.idle_cores.remove(core)
+        return core
+
+    def _assign(self, t: SimThread, core: int) -> None:
+        if t.last_core is not None and t.last_core != core:
+            t.migrations += 1
+        t.core = core
+        t.last_core = core
+        t.state = RUNNING
+        t.preempt_pending = False
+        t.epoch += 1
+        t.slice_end = self.sim.now + self.quantum
+        epoch = t.epoch
+        self.sim.at(t.slice_end, lambda: self._slice_timer(t, epoch))
+        value, t.resume_value = t.resume_value, None
+        self._advance(t, value)
+
+    def _release_core(self, t: SimThread) -> None:
+        if t.core is not None:
+            self.idle_cores.append(t.core)
+            t.core = None
+
+    def _slice_timer(self, t: SimThread, epoch: int) -> None:
+        if t.epoch != epoch or t.state != RUNNING:
+            return
+        if not self.ready:
+            # Nobody waiting: extend the slice.
+            t.slice_end = self.sim.now + self.quantum
+            self.sim.at(t.slice_end, lambda: self._slice_timer(t, epoch))
+            return
+        if t.cancel_wait is not None:
+            # Preempt a spinning thread immediately.
+            cancel, t.cancel_wait = t.cancel_wait, None
+            cancel()
+            t.op_seq += 1  # kill any in-flight completion for the wait
+            self._preempt(t, False)
+        else:
+            t.preempt_pending = True
+
+    def _preempt(self, t: SimThread, resume_value: Any) -> None:
+        t.preemptions += 1
+        t.state = READY
+        t.resume_value = resume_value
+        self._release_core(t)
+        self.ready.append(t)
+        self._dispatch()
+
+    def _finish(self, t: SimThread) -> None:
+        t.state = DONE
+        t.epoch += 1
+        self._release_core(t)
+        self.active -= 1
+        self._dispatch()
+
+    # ------------------------------------------------------------------ #
+    # program driving
+
+    def _advance(self, t: SimThread, value: Any) -> None:
+        assert t.state == RUNNING and t.gen is not None
+        try:
+            op = t.gen.send(value)
+        except StopIteration:
+            self._finish(t)
+            return
+        t.current_op = op
+        self._execute(t, op)
+
+    def _op_done(self, t: SimThread, result: Any) -> None:
+        t.cancel_wait = None
+        if t.state != RUNNING:
+            return
+        if self.ready and (t.preempt_pending or self.sim.now >= t.slice_end):
+            self._preempt(t, result)
+        else:
+            self._advance(t, result)
+
+    def _guarded(self, t: SimThread) -> Callable[[Any], None]:
+        """Completion callback valid only for the current op issuance."""
+        t.op_seq += 1
+        seq = t.op_seq
+        epoch = t.epoch
+
+        def done(result: Any = None) -> None:
+            if t.op_seq == seq and t.epoch == epoch and t.state == RUNNING:
+                self._op_done(t, result)
+
+        return done
+
+    # ------------------------------------------------------------------ #
+    # op execution
+
+    def _execute(self, t: SimThread, op: ops.Op) -> None:
+        m = self.machine
+        sim = self.sim
+        done = self._guarded(t)
+        core = t.core
+        assert core is not None
+
+        if isinstance(op, ops.Compute):
+            sim.after(max(1, op.cycles), done)
+
+        elif isinstance(op, ops.Load):
+            m.mem.access(core, op.addr, READ, done)
+
+        elif isinstance(op, ops.Store):
+            m.mem.access(core, op.addr, WRITE, done, value=op.value)
+
+        elif isinstance(op, ops.Rmw):
+            m.mem.access(core, op.addr, RMW, done, rmw=op.fn)
+
+        elif isinstance(op, ops.RemoteRmw):
+            m.mem.remote_rmw(core, op.addr, op.fn, done)
+
+        elif isinstance(op, ops.WaitLine):
+            stale = (
+                op.expected is not None
+                and m.mem.peek(op.addr) != op.expected
+            )
+            if stale or not m.mem.has_line(core, op.addr):
+                sim.after(1, done)
+            else:
+                sig = m.mem.line_signal(core, op.addr)
+                token = sig.wait(lambda _=None: done(None))
+                t.cancel_wait = lambda: sig.cancel(token)
+                if op.timeout is not None:
+                    seq = t.op_seq
+
+                    def waitline_timeout() -> None:
+                        if t.op_seq == seq and t.state == RUNNING:
+                            if t.cancel_wait is not None:
+                                t.cancel_wait()
+                                t.cancel_wait = None
+                            self._op_done(t, None)
+
+                    sim.after(op.timeout, waitline_timeout)
+
+        elif isinstance(op, ops.YieldCPU):
+            if self.ready:
+                t.op_seq += 1
+                self._preempt(t, None)
+            else:
+                sim.after(1, done)
+
+        elif isinstance(op, ops.SleepFor):
+            t.state = WAITING
+            self._release_core(t)
+            self._dispatch()
+
+            def wake() -> None:
+                if t.state == WAITING:
+                    t.state = READY
+                    t.resume_value = None
+                    self.ready.append(t)
+                    self._dispatch()
+
+            sim.after(max(1, op.cycles), wake)
+
+        elif isinstance(op, ops.FutexWait):
+            if m.mem.peek(op.addr) != op.expected:
+                sim.after(m.config.l1_latency, lambda: done(False))
+            else:
+                t.state = WAITING
+                t.resume_value = True
+                self._release_core(t)
+                self._futex.setdefault(op.addr, deque()).append(t)
+                self._dispatch()
+
+        elif isinstance(op, ops.FutexWake):
+            q = self._futex.get(op.addr)
+            woken = 0
+            while q and woken < op.count:
+                sleeper = q.popleft()
+                if sleeper.state == WAITING:
+                    sleeper.state = READY
+                    self.ready.append(sleeper)
+                    woken += 1
+            sim.after(1, lambda w=woken: done(w))
+            self.sim.after(0, self._dispatch)
+
+        elif isinstance(op, ops.LcuAcq):
+            ok = m.lcus[core].instr_acquire(
+                t.tid, op.addr, op.write, priority=op.priority
+            )
+            sim.after(m.config.lcu_latency, lambda: done(ok))
+
+        elif isinstance(op, ops.LcuRel):
+            ok = m.lcus[core].instr_release(t.tid, op.addr, op.write)
+            sim.after(m.config.lcu_latency, lambda: done(ok))
+
+        elif isinstance(op, ops.LcuEnq):
+            ok = m.lcus[core].instr_enqueue(t.tid, op.addr, op.write)
+            sim.after(m.config.lcu_latency, lambda: done(ok))
+
+        elif isinstance(op, ops.LcuWait):
+            lcu = m.lcus[core]
+            if lcu.poll_ready(t.tid, op.addr):
+                # Grant already here / entry gone: re-check immediately.
+                sim.after(1, done)
+            else:
+                sig = lcu.entry_signal(t.tid, op.addr)
+                token = sig.wait(lambda _=None: done(None))
+                t.cancel_wait = lambda: sig.cancel(token)
+                if op.timeout is not None:
+                    seq = t.op_seq
+
+                    def timeout_fire() -> None:
+                        if t.op_seq == seq and t.state == RUNNING:
+                            if t.cancel_wait is not None:
+                                t.cancel_wait()
+                                t.cancel_wait = None
+                            self._op_done(t, None)
+
+                    sim.after(op.timeout, timeout_fire)
+
+        elif isinstance(op, ops.SsbAcq):
+            m.ssb.acquire(core, t.tid, op.addr, op.write, done)
+
+        elif isinstance(op, ops.SsbRel):
+            m.ssb.release(core, t.tid, op.addr, op.write, done)
+
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {op!r}")

@@ -1,0 +1,98 @@
+"""Plain-text table rendering for experiment results.
+
+The paper's figures are line charts; a terminal reproduction prints the
+same series as aligned tables (one row per x-value, one column per
+system) so "who wins, by what factor, where the crossover falls" can be
+read directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    rows: Sequence[Sequence[object]], title: str = "", floatfmt: str = ".1f"
+) -> str:
+    """Render rows (first row = header) as an aligned text table."""
+    if not rows:
+        return title
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    text = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(text[r][c]) for r in range(len(text)))
+        for c in range(len(text[0]))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(text):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: "dict[str, Sequence[float]]",
+    title: str = "",
+    floatfmt: str = ".1f",
+) -> str:
+    """Render {name: values} sampled at xs — the shape of a paper figure."""
+    header: List[object] = [x_label] + list(series.keys())
+    rows: List[List[object]] = [header]
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for vals in series.values():
+            row.append(vals[i] if i < len(vals) else "-")
+        rows.append(row)
+    return render_table(rows, title=title, floatfmt=floatfmt)
+
+
+def render_chart(
+    x_label: str,
+    xs: Sequence[object],
+    series: "dict[str, Sequence[float]]",
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bar chart: one group of bars per x value, one bar
+    per series — the terminal rendition of the paper's grouped-bar
+    figures.  Bars scale to the global maximum."""
+    peak = max(
+        (v for vals in series.values() for v in vals
+         if v == v and v != float("inf")),
+        default=0.0,
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_w = max((len(n) for n in series), default=4)
+    for i, x in enumerate(xs):
+        lines.append(f"{x_label}={x}")
+        for name, vals in series.items():
+            v = vals[i] if i < len(vals) else float("nan")
+            if v != v:  # NaN
+                lines.append(f"  {name:>{name_w}} | (not run)")
+                continue
+            bar = "#" * max(1, round(width * v / peak)) if peak else ""
+            lines.append(f"  {name:>{name_w}} |{bar} {v:.1f}")
+    return "\n".join(lines)
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))

@@ -1,0 +1,12 @@
+"""The paper's contribution: Lock Control Unit + Lock Reservation Table."""
+
+from repro.lcu import api
+from repro.lcu.entry import LcuEntry
+from repro.lcu.lcu import LockControlUnit, ProtocolError
+from repro.lcu.lrt import LockReservationTable, LrtEntry
+from repro.lcu.messages import Who
+
+__all__ = [
+    "api", "LcuEntry", "LockControlUnit", "ProtocolError",
+    "LockReservationTable", "LrtEntry", "Who",
+]

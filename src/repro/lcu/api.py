@@ -1,0 +1,65 @@
+"""Software shims over the ``acq``/``rel`` primitives (paper Figure 2).
+
+These are generators composed into thread programs with ``yield from``:
+
+    yield from api.lock(addr, write=True)
+    ... critical section ...
+    yield from api.unlock(addr, write=True)
+
+The acquire loop spins on the local LCU entry (``LcuWait``) — zero remote
+traffic while waiting, exactly the local-spin property the paper claims.
+The ``LcuWait`` safety timeout guards against missed wake-ups and keeps
+abandoned states self-healing; it does not add traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cpu import ops
+
+# Re-check period while spinning: generous (wake-ups are signalled), it
+# only bounds recovery from lost-wakeup races.
+_SPIN_RECHECK = 5_000
+# Back-off before re-trying a release that found no free LCU entry.
+_RELEASE_BACKOFF = 64
+
+
+def lock(addr: int, write: bool, priority: bool = False) -> Generator:
+    """Blocking lock acquisition: ``while (!acq(addr, th_id, mode)) {}``.
+
+    ``priority=True`` requests real-time treatment: the LRT holds back
+    ordinary requestors that arrive later, so this thread waits out only
+    the queue that existed when it asked (future-work extension)."""
+    while True:
+        ok = yield ops.LcuAcq(addr, write, priority)
+        if ok:
+            return
+        yield ops.LcuWait(addr, timeout=_SPIN_RECHECK)
+
+
+def trylock(addr: int, write: bool, retries: int = 16) -> Generator:
+    """Bounded lock acquisition (paper Figure 2's retry-counted trylock).
+    Returns True on success.  On failure the request may stay enqueued;
+    the LCU grant timer passes any late grant along harmlessly."""
+    for _ in range(retries):
+        ok = yield ops.LcuAcq(addr, write)
+        if ok:
+            return True
+        yield ops.LcuWait(addr, timeout=_SPIN_RECHECK)
+    return False
+
+
+def unlock(addr: int, write: bool) -> Generator:
+    """Lock release: ``while (!rel(addr, th_id, mode)) {}``."""
+    while True:
+        ok = yield ops.LcuRel(addr, write)
+        if ok:
+            return
+        yield ops.Compute(_RELEASE_BACKOFF)
+
+
+def enqueue(addr: int, write: bool) -> Generator:
+    """Issue the Enqueue prefetch (footnote 1): join the queue early so a
+    later ``lock`` finds the grant already local."""
+    yield ops.LcuEnq(addr, write)

@@ -1,0 +1,200 @@
+"""Protocol messages exchanged between LCUs and LRTs.
+
+Naming follows the paper (Section III): REQUEST, GRANT, WAIT, RETRY,
+RELEASE and the head-update notification; the remaining message types
+implement the races and corner cases the paper describes in prose
+(release/enqueue race, migrated-thread release, overflow-reader draining,
+re-allocation back-pressure).
+
+A queue participant is identified by a ``Who`` tuple — (threadid, LCU id,
+R/W mode) — exactly the tuple stored in the LRT's head/tail pointers and
+in each LCU entry's ``next`` field.  ``gen`` is the paper's
+``transfer_cnt``: a per-lock monotonically increasing transfer generation
+that lets the LRT ignore stale head notifications when consecutive
+transfers race.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import NamedTuple
+
+
+class Who(NamedTuple):
+    """Queue-node identity: (threadid, LCU id, write-mode)."""
+
+    tid: int
+    lcu: int
+    write: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """LCU -> LRT: thread asks for the lock (paper's REQUEST).
+
+    ``priority`` implements the paper's future-work real-time extension:
+    while priority requestors are outstanding, the LRT refuses new
+    ordinary requests so the priority holder only waits for the queue
+    that existed when it asked (bounded-jump priority).
+    """
+    addr: int
+    req: Who
+    nonblocking: bool = False
+    priority: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class FwdRequest:
+    """LRT -> tail LCU: enqueue ``req`` behind the current tail.
+
+    Carries the tail's identity/mode so a deallocated uncontended owner
+    entry can be re-allocated (paper Figure 4b), the current transfer
+    generation, and whether a granted *writer* must confirm that overflow
+    readers have drained before taking the lock.
+    """
+    addr: int
+    tail_tid: int
+    tail_lcu: int
+    tail_write: bool
+    req: Who
+    gen: int
+    confirm_required: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class FwdNack:
+    """tail LCU -> LRT: could not re-allocate an entry for the forwarded
+    request (LCU full); the LRT retries after a backoff."""
+    addr: int
+    original: FwdRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitMsg:
+    """tail LCU -> requestor LCU: you are enqueued (paper's WAIT)."""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Grant:
+    """Lock grant (paper's GRANT).
+
+    * ``head=True``  — carries the Head token (write permission for
+      writers; queue-head status for readers).
+    * ``head=False`` — a reader share grant propagated down a run of
+      consecutive readers.
+    * ``from_lrt``   — initial/overflow grants issued by the LRT itself;
+      these must not trigger a head-update notification.
+    * ``overflow``   — an overflow-mode reader grant (no queue membership).
+    * ``confirm_required`` — a granted writer must ask the LRT for
+      ``OvfClear`` before acquiring (overflow readers may still hold).
+    """
+    addr: int
+    tid: int
+    head: bool
+    gen: int
+    from_lrt: bool = False
+    overflow: bool = False
+    confirm_required: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Retry:
+    """LRT -> LCU: request rejected (nonblocking entry and lock taken, or
+    a reservation holder has priority).  The entry is deallocated and the
+    software layer retries (paper's RETRY)."""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReleaseMsg:
+    """LCU -> LRT: release of an uncontended lock, an overflow-mode read
+    grant, or a migrated thread's lock (paper's RELEASE)."""
+    addr: int
+    rel: Who
+    overflow: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ReleaseAck:
+    """LRT -> LCU: release processed; deallocate the REL entry."""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReleaseRetry:
+    """LRT -> LCU: a requestor was already enqueued behind you (release /
+    enqueue race) — keep the REL entry and hand the lock to the forwarded
+    requestor when it arrives (paper Section III-A)."""
+    addr: int
+    tid: int
+    gen: int
+
+
+@dataclasses.dataclass(frozen=True)
+class HeadNotify:
+    """new head LCU -> LRT: the Head token moved here (paper Figure 5).
+    The LRT replies with ``Dealloc`` to the previous head so its REL entry
+    can be reclaimed only once the head pointer is valid again."""
+    addr: int
+    new: Who
+    gen: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Dealloc:
+    """LRT -> LCU: head pointer updated; drop your REL entry."""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class OvfCheck:
+    """granted writer LCU -> LRT: may I take the lock, or are overflow
+    readers still holding it?"""
+    addr: int
+    tid: int
+    lcu: int
+
+
+@dataclasses.dataclass(frozen=True)
+class OvfClear:
+    """LRT -> writer LCU: all overflow readers drained; write away."""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoteRelease:
+    """LRT -> LCU (and LCU -> LCU along the queue): a migrated thread
+    released from a foreign LCU; find the queue node owned by
+    ``target_tid`` and release it (paper Section III-C).  ``via_tid`` is
+    the queue node at the receiving LCU used to follow ``next`` pointers.
+    """
+    addr: int
+    target_tid: int
+    write: bool
+    origin_lcu: int
+    via_tid: int
+    hops: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoteReleaseAck:
+    """owner LCU -> origin LCU: remote release performed; drop REL entry."""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoteReleaseNack:
+    """LCU -> LRT: queue walk for a migrated release failed (node gone /
+    chain broken by a race); the LRT retries or resolves it."""
+    addr: int
+    target_tid: int
+    write: bool
+    origin_lcu: int
+    attempts: int

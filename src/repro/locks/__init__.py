@@ -1,0 +1,28 @@
+"""Lock algorithms: software baselines + hardware units, one interface.
+
+Importing this package populates the registry used by
+:func:`repro.locks.get_algorithm`, so harness code can select any lock by
+its short name: ``tas``, ``tatas``, ``ticket``, ``mcs``, ``mrsw``,
+``pthread``, ``lcu``, ``ssb``.
+"""
+
+from repro.locks.base import LockAlgorithm, all_algorithms, get_algorithm
+from repro.locks.clh import ClhLock
+from repro.locks.hbo import HboLock
+from repro.locks.hwlocks import LcuRwLock, SsbLock
+from repro.locks.mao import MaoTicketLock
+from repro.locks.mcs import McsLock
+from repro.locks.mrsw import MrswLock
+from repro.locks.pthread import PthreadMutex
+from repro.locks.snzi import SnziRwLock
+from repro.locks.sync import Barrier, CondVar
+from repro.locks.tas import TasLock, TatasLock
+from repro.locks.ticket import TicketLock
+from repro.locks.tpmcs import TpMcsLock
+
+__all__ = [
+    "LockAlgorithm", "all_algorithms", "get_algorithm",
+    "TasLock", "TatasLock", "TicketLock", "McsLock", "MrswLock",
+    "PthreadMutex", "LcuRwLock", "SsbLock", "ClhLock", "HboLock",
+    "SnziRwLock", "MaoTicketLock", "TpMcsLock", "Barrier", "CondVar",
+]

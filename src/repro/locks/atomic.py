@@ -1,0 +1,31 @@
+"""Atomic-operation helpers built on the coherence substrate's RMW op.
+
+Every helper returns an :class:`~repro.cpu.ops.Rmw` record to be yielded
+from a thread program.  The RMW applies its function at the access's
+serialization point and resumes the program with the *old* value, which
+is exactly the semantics of the hardware primitives being modelled:
+
+* ``test_and_set``: old == 0 means the TAS succeeded;
+* ``compare_and_swap``: old == expected means the CAS succeeded;
+* ``swap`` / ``fetch_add`` as usual.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ops import Rmw
+
+
+def test_and_set(addr: int) -> Rmw:
+    return Rmw(addr, lambda _v: 1)
+
+
+def swap(addr: int, new: int) -> Rmw:
+    return Rmw(addr, lambda _v: new)
+
+
+def compare_and_swap(addr: int, expected: int, new: int) -> Rmw:
+    return Rmw(addr, lambda v: new if v == expected else v)
+
+
+def fetch_add(addr: int, delta: int) -> Rmw:
+    return Rmw(addr, lambda v: v + delta)

@@ -1,0 +1,107 @@
+"""Common interface and metadata for lock algorithms.
+
+Every lock implementation — software baselines, the LCU, the SSB — is a
+:class:`LockAlgorithm`.  The microbenchmark / STM / application harnesses
+are written against this interface, so every figure can be regenerated
+with any lock by name.
+
+``lock``/``unlock``/``trylock`` are *generator functions* composed into
+thread programs with ``yield from``; they yield :mod:`repro.cpu.ops`
+records.  ``make_lock`` allocates whatever simulated memory the algorithm
+needs and returns an opaque handle.
+
+Metadata fields mirror the columns of the paper's Figure 1 comparison
+table so the table can be generated from the code itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Type
+
+from repro.cpu.machine import Machine
+from repro.cpu.os_sched import SimThread
+
+
+class LockAlgorithm:
+    """Base class: one instance is bound to one machine."""
+
+    # -- Figure 1 metadata (overridden per algorithm) -------------------- #
+    name: str = "abstract"
+    local_spin = False
+    rw_support = False
+    trylock_support = False
+    fair = False
+    queue_eviction_detection = False
+    scalability = "-"           # "poor" / "good" / "very good"
+    memory_overhead = "-"       # per-lock cost
+    transfer_messages = "-"     # typical lock-transfer message count
+    requires_l1_changes = False
+    hardware = False
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def make_lock(self) -> Any:
+        """Allocate and initialise one lock; returns an opaque handle."""
+        raise NotImplementedError
+
+    # -- operations (generator functions) --------------------------------- #
+
+    def lock(self, thread: SimThread, handle: Any, write: bool) -> Generator:
+        """Blocking acquire."""
+        raise NotImplementedError
+
+    def unlock(self, thread: SimThread, handle: Any, write: bool) -> Generator:
+        """Release."""
+        raise NotImplementedError
+
+    def trylock(
+        self, thread: SimThread, handle: Any, write: bool, retries: int = 16
+    ) -> Generator:
+        """Bounded acquire; the generator's return value is True/False.
+        Default: not supported."""
+        raise NotImplementedError(f"{self.name} has no trylock")
+
+    # -- table generation -------------------------------------------------- #
+
+    @classmethod
+    def figure1_row(cls) -> List[str]:
+        yn = lambda b: "yes" if b else "no"  # noqa: E731
+        return [
+            cls.name,
+            "HW" if cls.hardware else "SW",
+            yn(cls.local_spin),
+            yn(cls.rw_support),
+            yn(cls.trylock_support),
+            yn(cls.fair),
+            yn(cls.queue_eviction_detection),
+            cls.scalability,
+            cls.memory_overhead,
+            cls.transfer_messages,
+            yn(cls.requires_l1_changes),
+        ]
+
+
+_REGISTRY: Dict[str, Type[LockAlgorithm]] = {}
+
+
+def register(cls: Type[LockAlgorithm]) -> Type[LockAlgorithm]:
+    """Class decorator adding the algorithm to the by-name registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str) -> Type[LockAlgorithm]:
+    """Look up a lock algorithm class by its ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown lock algorithm {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_algorithms() -> Dict[str, Type[LockAlgorithm]]:
+    return dict(_REGISTRY)

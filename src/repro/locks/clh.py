@@ -1,0 +1,77 @@
+"""CLH queue lock (Craig; Landin & Hagersten).
+
+Like MCS, waiters spin locally — but on their *predecessor's* node
+rather than their own, which makes the enqueue path one swap with no
+follow-up store.  Included as an extra software baseline: its transfer
+behaviour is MCS-like (the LCU's direct-grant advantage applies to both),
+and it shares MCS's preemption anomaly.
+
+Node reuse follows the classic CLH discipline: after releasing, a thread
+adopts its predecessor's node for the next round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, NamedTuple, Tuple
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import swap
+from repro.locks.base import LockAlgorithm, register
+
+
+class ClhHandle(NamedTuple):
+    tail: int          # queue-tail word; holds the current tail node addr
+
+
+@register
+class ClhLock(LockAlgorithm):
+    """CLH queue lock: FIFO, spins on the predecessor's node."""
+
+    name = "clh"
+    local_spin = True
+    fair = True
+    scalability = "very good"
+    memory_overhead = "O(n) queue nodes"
+    transfer_messages = "2 (inval + refetch)"
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        # (lock, tid) -> address of the node this thread will use next
+        self._my_node: Dict[Tuple[int, int], int] = {}
+
+    def make_lock(self) -> ClhHandle:
+        alloc = self.machine.alloc
+        # a pre-released dummy node seeds the queue
+        dummy = alloc.alloc_line()
+        self.machine.mem.poke(dummy, 0)       # 0 = released
+        tail = alloc.alloc_line()
+        self.machine.mem.poke(tail, dummy)
+        return ClhHandle(tail)
+
+    def _node_for(self, handle: ClhHandle, tid: int) -> int:
+        key = (handle.tail, tid)
+        node = self._my_node.get(key)
+        if node is None:
+            node = self.machine.alloc.alloc_line()
+            self._my_node[key] = node
+        return node
+
+    def lock(self, thread: SimThread, handle: ClhHandle, write: bool) -> Generator:
+        node = self._node_for(handle, thread.tid)
+        yield ops.Store(node, 1)               # locked
+        pred = yield swap(handle.tail, node)
+        # remember the predecessor node: we adopt it after release
+        thread.stats[("clh_pred", handle.tail)] = pred
+        while True:
+            v = yield ops.Load(pred)
+            if v == 0:
+                return
+            yield ops.WaitLine(pred, v)
+
+    def unlock(self, thread: SimThread, handle: ClhHandle, write: bool) -> Generator:
+        node = self._my_node[(handle.tail, thread.tid)]
+        yield ops.Store(node, 0)               # release: successor sees it
+        # adopt the predecessor's (now unobserved) node for reuse
+        pred = thread.stats.pop(("clh_pred", handle.tail))
+        self._my_node[(handle.tail, thread.tid)] = pred

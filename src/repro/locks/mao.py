@@ -1,0 +1,59 @@
+"""MAO lock: remote atomics at the memory controller (paper related
+work: SGI Origin's MAOs [22], Cray T3E [35], AMO [42]).
+
+Every lock operation is a fetch-and-theta executed *at the home memory
+controller*: constant latency, no coherence line bouncing, zero L1
+footprint — but also no local spinning (each retry is a remote round
+trip, like the SSB) and no queue (no fairness, longer transfers).
+Implemented as a remote ticket lock so it is fair despite being remote:
+that is the T3E's actual idiom (fetch&inc ticket counters in memory).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, NamedTuple
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.base import LockAlgorithm, register
+
+
+class MaoHandle(NamedTuple):
+    ticket: int
+    serving: int
+
+
+@register
+class MaoTicketLock(LockAlgorithm):
+    """Remote-atomic ticket lock (MAO / T3E style)."""
+
+    name = "mao"
+    hardware = True
+    local_spin = False          # polls the serving counter remotely
+    fair = True                 # ticket order
+    scalability = "good (no bouncing), remote polling"
+    memory_overhead = "2 words (no L1 use)"
+    transfer_messages = "2+ (remote poll round trips)"
+
+    poll_backoff = 120
+
+    def make_lock(self) -> MaoHandle:
+        alloc = self.machine.alloc
+        return MaoHandle(alloc.alloc_line(), alloc.alloc_line())
+
+    def lock(self, thread: SimThread, handle: MaoHandle, write: bool) -> Generator:
+        ticket = yield ops.RemoteRmw(handle.ticket, lambda v: v + 1)
+        attempt = 0
+        while True:
+            serving = yield ops.RemoteRmw(handle.serving, lambda v: v)
+            if serving == ticket:
+                return
+            attempt += 1
+            # back off proportionally to the queue ahead of us
+            gap = max(1, ticket - serving)
+            yield ops.Compute(
+                self.poll_backoff * min(gap, 8) + (attempt % 5) * 17
+            )
+
+    def unlock(self, thread: SimThread, handle: MaoHandle, write: bool) -> Generator:
+        yield ops.RemoteRmw(handle.serving, lambda v: v + 1)

@@ -1,0 +1,124 @@
+"""MRSW: fair queue-based reader-writer lock with a shared reader counter.
+
+Models the Mellor-Crummey & Scott reader-writer queue lock family the
+paper benchmarks as "MRSW": requestors (readers and writers) join one MCS
+queue; a run of consecutive readers executes concurrently, counted by a
+single ``reader_count`` word; a writer at the queue head spins until the
+counter drains.
+
+The shared counter is the point: every reader atomically increments it on
+entry and decrements it on exit, so the counter's cache line is a
+coherence hotspot that *worsens* as the reader proportion grows — the
+paper's Figure 10 shows MRSW's time per operation rising with reader
+share while the LCU's falls.  (We fold MCS-RW's class/state CAS pair into
+a per-node ``cls`` word plus the queue discipline below; the simplification
+keeps message patterns — queue handoff + counter traffic — identical.
+Noted in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, NamedTuple, Tuple
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import compare_and_swap, fetch_add, swap
+from repro.locks.base import LockAlgorithm, register
+from repro.locks.mcs import _Node
+
+_CLS_READER = 1
+_CLS_WRITER = 2
+
+
+class MrswHandle(NamedTuple):
+    tail: int            # queue tail word
+    reader_count: int    # the hotspot counter (its own line)
+
+
+@register
+class MrswLock(LockAlgorithm):
+    """Fair queue-based reader-writer lock with a shared reader counter."""
+
+    name = "mrsw"
+    local_spin = True
+    rw_support = True
+    fair = True
+    scalability = "good (reader-counter hotspot)"
+    memory_overhead = "O(n) queue nodes + counter"
+    transfer_messages = "2-4 (+counter bouncing)"
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        self._nodes: Dict[Tuple[int, int], _Node] = {}
+
+    def make_lock(self) -> MrswHandle:
+        alloc = self.machine.alloc
+        return MrswHandle(alloc.alloc_line(), alloc.alloc_line())
+
+    def _node(self, handle: MrswHandle, tid: int) -> _Node:
+        key = (handle.tail, tid)
+        node = self._nodes.get(key)
+        if node is None:
+            node = _Node(self.machine.alloc.alloc_line())
+            self._nodes[key] = node
+        return node
+
+    # ------------------------------------------------------------------ #
+    # queue plumbing shared by both modes
+
+    def _enqueue(self, node: _Node, handle: MrswHandle, cls: int) -> Generator:
+        yield ops.Store(node.next, 0)
+        yield ops.Store(node.locked, 1)
+        yield ops.Store(node.cls, cls)
+        pred = yield swap(handle.tail, node.base)
+        if pred == 0:
+            yield ops.Store(node.locked, 0)
+            return
+        yield ops.Store(_Node(pred).next, node.base)
+        while True:
+            v = yield ops.Load(node.locked)
+            if v == 0:
+                return
+            yield ops.WaitLine(node.locked, v)
+
+    def _pass_head(self, node: _Node, handle: MrswHandle) -> Generator:
+        """Hand queue-head status to the successor (writing its flag)."""
+        nxt = yield ops.Load(node.next)
+        if nxt == 0:
+            old = yield compare_and_swap(handle.tail, node.base, 0)
+            if old == node.base:
+                return
+            while True:
+                nxt = yield ops.Load(node.next)
+                if nxt != 0:
+                    break
+                yield ops.WaitLine(node.next, 0)
+        yield ops.Store(_Node(nxt).locked, 0)
+
+    # ------------------------------------------------------------------ #
+
+    def lock(self, thread: SimThread, handle: MrswHandle, write: bool) -> Generator:
+        node = self._node(handle, thread.tid)
+        cls = _CLS_WRITER if write else _CLS_READER
+        yield from self._enqueue(node, handle, cls)
+        if write:
+            # Head of queue: wait for active readers to drain, then hold
+            # the head until write_unlock.
+            while True:
+                rc = yield ops.Load(handle.reader_count)
+                if rc == 0:
+                    return
+                yield ops.WaitLine(handle.reader_count, rc)
+        else:
+            # Become an active reader, then immediately pass the head on
+            # so consecutive readers overlap (a following writer blocks on
+            # the counter, not the queue position).
+            yield fetch_add(handle.reader_count, 1)
+            yield from self._pass_head(node, handle)
+
+    def unlock(self, thread: SimThread, handle: MrswHandle, write: bool) -> Generator:
+        node = self._node(handle, thread.tid)
+        if write:
+            yield from self._pass_head(node, handle)
+        else:
+            yield fetch_add(handle.reader_count, -1)

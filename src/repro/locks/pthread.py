@@ -1,0 +1,71 @@
+"""Posix-mutex model: brief adaptive spin, then futex sleep.
+
+Models the Solaris/Linux mutex used as the software baseline of the
+paper's Figure 13 application runs: under low contention it behaves like
+a cached TATAS (the "implicit biasing" that lets Radiosity beat hardware
+locks — a thread re-acquiring its own hot mutex hits in its L1); under
+contention waiters block in the kernel and are woken on release.
+
+Lock word values: 0 free, 1 locked, 2 locked-with-waiters.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import compare_and_swap
+from repro.locks.base import LockAlgorithm, register
+
+_SPIN_ATTEMPTS = 3
+_FUTEX_SYSCALL_COST = 120   # cycles of kernel entry/exit
+
+
+@register
+class PthreadMutex(LockAlgorithm):
+    """Posix mutex model: brief adaptive spin, then futex sleep."""
+
+    name = "pthread"
+    local_spin = True
+    trylock_support = True
+    queue_eviction_detection = True   # sleepers do not hold cores
+    scalability = "good (blocking)"
+    memory_overhead = "1 word + kernel queue"
+    transfer_messages = "2 + syscall on contention"
+
+    def make_lock(self) -> int:
+        return self.machine.alloc.alloc_line()
+
+    def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        for _ in range(_SPIN_ATTEMPTS):
+            old = yield compare_and_swap(handle, 0, 1)
+            if old == 0:
+                return
+            yield ops.Compute(32)
+        while True:
+            # Slow path: always mark contended, even when acquiring — a
+            # thread woken from the futex cannot know whether other
+            # sleepers remain, so the value must stay 2 until an unlock
+            # observes it and wakes the next sleeper (the glibc pattern).
+            old = yield ops.Rmw(handle, lambda _v: 2)
+            if old == 0:
+                return
+            yield ops.Compute(_FUTEX_SYSCALL_COST)
+            yield ops.FutexWait(handle, 2)
+
+    def trylock(
+        self, thread: SimThread, handle: int, write: bool, retries: int = 16
+    ) -> Generator:
+        for _ in range(retries):
+            old = yield compare_and_swap(handle, 0, 1)
+            if old == 0:
+                return True
+            yield ops.Compute(32)
+        return False
+
+    def unlock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        old = yield ops.Rmw(handle, lambda _v: 0)
+        if old == 2:
+            yield ops.Compute(_FUTEX_SYSCALL_COST)
+            yield ops.FutexWake(handle, 1)

@@ -1,0 +1,79 @@
+"""Higher-level synchronization built on the lock interface.
+
+A locking substrate is usually consumed through richer primitives; these
+are provided for downstream users and exercised by the test suite:
+
+* :class:`Barrier` — sense-reversing spin barrier (works with the
+  coherence substrate directly; no lock needed).
+* :class:`CondVar` — Mesa-style condition variable usable with *any*
+  registered lock algorithm: ``wait`` atomically releases the lock and
+  sleeps on a futex sequence word, re-acquiring on wake-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.cpu import ops
+from repro.cpu.machine import Machine
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import fetch_add
+from repro.locks.base import LockAlgorithm
+
+
+class Barrier:
+    """Sense-reversing spin barrier for a fixed number of parties."""
+
+    def __init__(self, machine: Machine, parties: int) -> None:
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.machine = machine
+        self.parties = parties
+        self._count = machine.alloc.alloc_line()
+        self._sense = machine.alloc.alloc_line()
+
+    def wait(self, thread: SimThread) -> Generator:
+        """Block until all parties have arrived.  Returns the generation
+        index (the sense value after release)."""
+        sense = yield ops.Load(self._sense)
+        arrived = yield fetch_add(self._count, 1)
+        if arrived == self.parties - 1:
+            # last arrival: reset and release everyone
+            yield ops.Store(self._count, 0)
+            yield ops.Store(self._sense, sense + 1)
+            return sense + 1
+        while True:
+            s = yield ops.Load(self._sense)
+            if s != sense:
+                return s
+            yield ops.WaitLine(self._sense, s)
+
+
+class CondVar:
+    """Mesa-style condition variable over any lock algorithm.
+
+    The waiter must hold ``handle`` (in write mode) when calling
+    :meth:`wait`; on return it holds the lock again and should re-check
+    its predicate (spurious wake-ups are possible, as with Posix)."""
+
+    def __init__(self, machine: Machine, algo: LockAlgorithm) -> None:
+        self.machine = machine
+        self.algo = algo
+        self._seq = machine.alloc.alloc_line()
+
+    def wait(self, thread: SimThread, handle: Any) -> Generator:
+        """Atomically release ``handle``, sleep until a notify, then
+        re-acquire ``handle``."""
+        seq = yield ops.Load(self._seq)
+        yield from self.algo.unlock(thread, handle, True)
+        yield ops.FutexWait(self._seq, seq)
+        yield from self.algo.lock(thread, handle, True)
+
+    def notify(self, count: int = 1) -> Generator:
+        """Wake up to ``count`` waiters (caller should hold the lock)."""
+        seq = yield ops.Load(self._seq)
+        yield ops.Store(self._seq, seq + 1)
+        yield ops.FutexWake(self._seq, count)
+
+    def notify_all(self) -> Generator:
+        yield from self.notify(count=1 << 30)

@@ -1,0 +1,100 @@
+"""Single-line spinlocks: TAS and TATAS (with exponential backoff).
+
+These are the paper's "basic single-cache-line locks": every TAS attempt
+is an atomic RMW, so the lock line ping-pongs between contenders and the
+home directory queues up — the contention collapse visible in Figure 10's
+Model A curves.  TATAS spins on a locally cached copy between attempts,
+which removes the traffic while the lock is held but still storms on
+every release.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import test_and_set
+from repro.locks.base import LockAlgorithm, register
+
+
+@register
+class TasLock(LockAlgorithm):
+    """test-and-set spinlock (mutual exclusion only)."""
+
+    name = "tas"
+    local_spin = False
+    trylock_support = True
+    scalability = "poor"
+    memory_overhead = "1 word"
+    transfer_messages = "O(n) (line bouncing)"
+
+    def make_lock(self) -> int:
+        return self.machine.alloc.alloc_line()
+
+    def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        while True:
+            old = yield test_and_set(handle)
+            if old == 0:
+                return
+            yield ops.Compute(8)  # pipeline gap between attempts
+
+    def trylock(
+        self, thread: SimThread, handle: int, write: bool, retries: int = 16
+    ) -> Generator:
+        for _ in range(retries):
+            old = yield test_and_set(handle)
+            if old == 0:
+                return True
+            yield ops.Compute(8)
+        return False
+
+    def unlock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        yield ops.Store(handle, 0)
+
+
+@register
+class TatasLock(LockAlgorithm):
+    """test-and-test-and-set with bounded exponential backoff."""
+
+    name = "tatas"
+    local_spin = True           # between attempts, on the cached copy
+    trylock_support = True
+    scalability = "poor"
+    memory_overhead = "1 word"
+    transfer_messages = "O(n) on release"
+
+    max_backoff = 1024
+
+    def make_lock(self) -> int:
+        return self.machine.alloc.alloc_line()
+
+    def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        backoff = 16
+        while True:
+            old = yield test_and_set(handle)
+            if old == 0:
+                return
+            backoff = min(backoff * 2, self.max_backoff)
+            yield ops.Compute(backoff)
+            # spin on the cached copy until it looks free
+            while True:
+                v = yield ops.Load(handle)
+                if v == 0:
+                    break
+                yield ops.WaitLine(handle, v)
+
+    def trylock(
+        self, thread: SimThread, handle: int, write: bool, retries: int = 16
+    ) -> Generator:
+        for _ in range(retries):
+            v = yield ops.Load(handle)
+            if v == 0:
+                old = yield test_and_set(handle)
+                if old == 0:
+                    return True
+            yield ops.Compute(16)
+        return False
+
+    def unlock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        yield ops.Store(handle, 0)

@@ -1,0 +1,48 @@
+"""Ticket lock: fair single-line lock (FIFO without a queue structure).
+
+Not part of the paper's measured set, but a useful extra baseline: it is
+fair like MCS yet all waiters spin on one location, so every release
+invalidates every waiter — the intermediate point between TAS and MCS.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, NamedTuple
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import fetch_add
+from repro.locks.base import LockAlgorithm, register
+
+
+class TicketHandle(NamedTuple):
+    next_ticket: int
+    now_serving: int
+
+
+@register
+class TicketLock(LockAlgorithm):
+    """Ticket lock: fair, single-line, all waiters share one location."""
+
+    name = "ticket"
+    local_spin = False          # all waiters share the now_serving line
+    fair = True
+    scalability = "poor"
+    memory_overhead = "2 words"
+    transfer_messages = "O(n) invalidations per release"
+
+    def make_lock(self) -> TicketHandle:
+        alloc = self.machine.alloc
+        return TicketHandle(alloc.alloc_line(), alloc.alloc_line())
+
+    def lock(self, thread: SimThread, handle: TicketHandle, write: bool) -> Generator:
+        ticket = yield fetch_add(handle.next_ticket, 1)
+        while True:
+            serving = yield ops.Load(handle.now_serving)
+            if serving == ticket:
+                return
+            yield ops.WaitLine(handle.now_serving, serving)
+
+    def unlock(self, thread: SimThread, handle: TicketHandle, write: bool) -> Generator:
+        serving = yield ops.Load(handle.now_serving)
+        yield ops.Store(handle.now_serving, serving + 1)

@@ -1,0 +1,150 @@
+"""Time-published MCS lock (He, Scherer & Scott, HPC'05 — paper [15]).
+
+The software answer to the queue-lock preemption anomaly, cited directly
+by the paper: waiters *publish timestamps* while spinning, and a releaser
+skips any waiter whose timestamp has gone stale (presumed preempted)
+instead of handing it the lock.  A skipped waiter notices on reschedule
+and re-enqueues with a fresh node.
+
+This is the head-to-head software competitor of the LCU's grant timer in
+the Figure 10 oversubscription experiment: it bounds the anomaly (a
+handoff can stall at most one staleness threshold) at the cost of
+periodic timestamp stores while waiting and slower handoffs (polling
+instead of invalidation-triggered wake-up).
+
+Simplifications vs the published algorithm (noted in DESIGN.md): skipped
+nodes are abandoned rather than recycled through the time-based reuse
+pool — safe because a node's state word is written exactly once by
+exactly one releaser — and waiters poll at a fixed publish period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, NamedTuple, Tuple
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.locks.atomic import compare_and_swap, swap
+from repro.locks.base import LockAlgorithm, register
+
+_WAITING = 1
+_GRANTED = 0
+_SKIPPED = 2
+
+
+class TpHandle(NamedTuple):
+    tail: int
+
+
+class _Node(NamedTuple):
+    base: int
+
+    @property
+    def next(self) -> int:
+        return self.base
+
+    @property
+    def state(self) -> int:
+        return self.base + 8
+
+    @property
+    def time(self) -> int:
+        return self.base + 16
+
+
+@register
+class TpMcsLock(LockAlgorithm):
+    """Time-published MCS queue lock (preemption-adaptive)."""
+
+    name = "tpmcs"
+    local_spin = True            # publishes, but on its own line
+    fair = True                  # FIFO among live waiters
+    queue_eviction_detection = True
+    scalability = "very good"
+    memory_overhead = "O(n) nodes (+abandoned on skip)"
+    transfer_messages = "2-4 (poll + timestamp checks)"
+
+    publish_period = 1_500       # cycles between timestamp stores
+    stale_threshold = 5_000      # staleness that marks a waiter preempted
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        # the node each (lock, tid) will use for its *next* acquisition
+        self._my_node: Dict[Tuple[int, int], _Node] = {}
+
+    def make_lock(self) -> TpHandle:
+        return TpHandle(self.machine.alloc.alloc_line())
+
+    def _fresh_node(self, handle: TpHandle, tid: int) -> _Node:
+        node = _Node(self.machine.alloc.alloc_line())
+        self._my_node[(handle.tail, tid)] = node
+        return node
+
+    def _node(self, handle: TpHandle, tid: int) -> _Node:
+        node = self._my_node.get((handle.tail, tid))
+        if node is None:
+            node = self._fresh_node(handle, tid)
+        return node
+
+    # ------------------------------------------------------------------ #
+
+    def lock(self, thread: SimThread, handle: TpHandle, write: bool) -> Generator:
+        sim = self.machine.sim
+        while True:
+            node = self._node(handle, thread.tid)
+            yield ops.Store(node.next, 0)
+            yield ops.Store(node.state, _WAITING)
+            yield ops.Store(node.time, sim.now)
+            pred = yield swap(handle.tail, node.base)
+            if pred == 0:
+                return
+            yield ops.Store(_Node(pred).next, node.base)
+            while True:
+                v = yield ops.Load(node.state)
+                if v == _GRANTED:
+                    return
+                if v == _SKIPPED:
+                    # presumed-preempted and passed over: abandon this
+                    # node and start again with a fresh one
+                    self._fresh_node(handle, thread.tid)
+                    break
+                yield ops.Store(node.time, sim.now)   # publish liveness
+                # responsive wait: a grant's invalidation wakes us at
+                # once; the timeout only paces the next publish
+                yield ops.WaitLine(node.state, v,
+                                   timeout=self.publish_period)
+
+    def unlock(self, thread: SimThread, handle: TpHandle, write: bool) -> Generator:
+        sim = self.machine.sim
+        cur = self._node(handle, thread.tid)
+        while True:
+            nxt = yield ops.Load(cur.next)
+            if nxt == 0:
+                old = yield compare_and_swap(handle.tail, cur.base, 0)
+                if old == cur.base:
+                    return        # queue empty
+                while True:       # a successor is linking itself in
+                    nxt = yield ops.Load(cur.next)
+                    if nxt != 0:
+                        break
+                    yield ops.WaitLine(cur.next, 0)
+            node = _Node(nxt)
+            t = yield ops.Load(node.time)
+            if sim.now - t <= self.stale_threshold:
+                yield ops.Store(node.state, _GRANTED)
+                return
+            # stale: secure the onward link (or empty the queue), then
+            # mark the victim skipped and keep walking
+            nn = yield ops.Load(node.next)
+            if nn == 0:
+                old = yield compare_and_swap(handle.tail, node.base, 0)
+                if old == node.base:
+                    yield ops.Store(node.state, _SKIPPED)
+                    return        # queue empty after the skipped victim
+                while True:
+                    nn = yield ops.Load(node.next)
+                    if nn != 0:
+                        break
+                    yield ops.WaitLine(node.next, 0)
+            yield ops.Store(node.state, _SKIPPED)
+            cur = node

@@ -1,0 +1,5 @@
+"""Behavioral cache-coherent memory hierarchy."""
+
+from repro.mem.memory import Allocator, MemorySystem
+
+__all__ = ["Allocator", "MemorySystem"]

@@ -1,0 +1,5 @@
+"""Interconnect models for the two machine configurations."""
+
+from repro.net.network import Endpoint, Network
+
+__all__ = ["Endpoint", "Network"]

@@ -1,0 +1,160 @@
+"""Message-passing interconnect with queueing and finite link bandwidth.
+
+Two topologies are modelled through one class, parameterised by the
+machine config:
+
+* **Model A** — a hierarchical switch: every message crosses a per-endpoint
+  access link and a shared root stage.  The root stage gives the global
+  ordering point GEMS approximates for model A; it has generous bandwidth,
+  so model A contention shows up mostly as latency, not saturation.
+
+* **Model B** — per-chip crossbars for intra-chip traffic and four
+  coherence-hub links for inter-chip traffic.  The hub links have a much
+  larger per-message occupancy (``inter_chip_link_service``), so protocols
+  that busy-wait with *remote* messages (the SSB's retry loop) saturate
+  them — the effect behind the paper's Figure 9b.
+
+Messages between a fixed (src, dst) pair are delivered FIFO — all messages
+take the same server chain with constant propagation, which is the network
+ordering assumption the LCU/LRT state machines rely on (the paper notes
+transient states would otherwise be needed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.params import MachineConfig
+from repro.sim.engine import Server, Simulator
+
+# An endpoint is any hashable id; the machine uses ("core", i) and ("mc", j).
+Endpoint = Tuple[str, int]
+
+
+class Network:
+    """Routes payloads between registered endpoints, charging latency and
+    link occupancy along the way."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        chip_of: Callable[[Endpoint], int],
+    ) -> None:
+        self._sim = sim
+        self._config = config
+        self._chip_of = chip_of
+        self._handlers: Dict[Endpoint, Callable[[Endpoint, Any], None]] = {}
+
+        # Fabric resources.
+        self._access: Dict[Endpoint, Server] = {}
+        self._crossbars: Dict[int, Server] = {
+            c: Server(sim, f"xbar{c}") for c in range(config.chips)
+        }
+        self._hub_out: Dict[int, Server] = {
+            c: Server(sim, f"hub_out{c}") for c in range(config.chips)
+        }
+        self._hub_in: Dict[int, Server] = {
+            c: Server(sim, f"hub_in{c}") for c in range(config.chips)
+        }
+        # Model A's root switch (ordering point).  Only used when
+        # config.global_order is set.
+        self._root = Server(sim, "root_switch")
+
+        self.messages_sent = 0
+        self.inter_chip_messages = 0
+
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self, endpoint: Endpoint, handler: Callable[[Endpoint, Any], None]
+    ) -> None:
+        """Attach ``handler(src, payload)`` to ``endpoint``."""
+        if endpoint in self._handlers:
+            raise ValueError(f"endpoint {endpoint} already registered")
+        self._handlers[endpoint] = handler
+        self._access[endpoint] = Server(self._sim, f"acc{endpoint}")
+
+    def is_registered(self, endpoint: Endpoint) -> bool:
+        return endpoint in self._handlers
+
+    # ------------------------------------------------------------------ #
+
+    def latency_estimate(self, src: Endpoint, dst: Endpoint) -> int:
+        """Uncongested one-way latency between two endpoints."""
+        if src == dst:
+            return 1
+        if self._chip_of(src) == self._chip_of(dst) and not self._config.global_order:
+            return self._config.intra_chip_hop
+        if self._chip_of(src) == self._chip_of(dst):
+            return self._config.intra_chip_hop
+        return self._config.inter_chip_hop
+
+    def send(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Any,
+        on_deliver: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        The destination handler runs at delivery time; ``on_deliver`` (if
+        given) runs right after it.  Self-sends are delivered after one
+        cycle without touching the fabric.
+        """
+        if dst not in self._handlers:
+            raise KeyError(f"no handler registered for endpoint {dst}")
+        self.messages_sent += 1
+
+        def deliver() -> None:
+            self._handlers[dst](src, payload)
+            if on_deliver is not None:
+                on_deliver()
+
+        if src == dst:
+            self._sim.after(1, deliver)
+            return
+
+        cfg = self._config
+        same_chip = self._chip_of(src) == self._chip_of(dst)
+        prop = self.latency_estimate(src, dst)
+
+        # Chain of servers the message occupies, in order.
+        chain = [self._access.get(src)]
+        if cfg.global_order:
+            chain.append(self._root)
+        elif same_chip:
+            chain.append(self._crossbars[self._chip_of(src)])
+        else:
+            self.inter_chip_messages += 1
+            chain.append(self._crossbars[self._chip_of(src)])
+            chain.append(self._hub_out[self._chip_of(src)])
+            chain.append(self._hub_in[self._chip_of(dst)])
+        chain.append(self._access.get(dst))
+        servers = [s for s in chain if s is not None]
+
+        def step(i: int) -> None:
+            if i == len(servers):
+                self._sim.after(prop, deliver)
+                return
+            server = servers[i]
+            service = cfg.link_service
+            if server.name.startswith("hub"):
+                service = cfg.inter_chip_link_service
+            server.request(service, lambda: step(i + 1))
+
+        step(0)
+
+    # ------------------------------------------------------------------ #
+    # introspection used by the harness
+
+    def hub_utilisation(self) -> float:
+        """Mean utilisation of the inter-chip hub links (Model B)."""
+        hubs = list(self._hub_out.values()) + list(self._hub_in.values())
+        if not hubs:
+            return 0.0
+        return sum(h.utilisation() for h in hubs) / len(hubs)
+
+    def root_utilisation(self) -> float:
+        return self._root.utilisation()

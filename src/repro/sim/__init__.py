@@ -1,0 +1,9 @@
+"""Discrete-event simulation kernel."""
+
+from repro.sim.engine import Server, Signal, SimulationError, Simulator
+from repro.sim.stats import Accumulator, Histogram, jain_fairness
+
+__all__ = [
+    "Server", "Signal", "SimulationError", "Simulator",
+    "Accumulator", "Histogram", "jain_fairness",
+]

@@ -1,0 +1,185 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction runs on this small deterministic event kernel.
+Time is measured in integer *cycles*.  Events scheduled for the same cycle
+fire in schedule order (a monotonic sequence number breaks ties), which
+makes every simulation run bit-reproducible for a given seed.
+
+The three building blocks are:
+
+``Simulator``
+    The event queue and clock.
+
+``Signal``
+    A broadcast condition: processes block on it and are resumed when it
+    fires.  Used to model local spinning (a waiter consumes zero simulated
+    traffic until the thing it watches changes).
+
+``Server``
+    A serially-serviced resource with FIFO queueing — memory controllers,
+    switch stages and inter-chip links are Servers, which is where all
+    contention in the model comes from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with an integer cycle clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+
+    def at(self, time: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute ``time`` cycles."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (now={self.now})"
+            )
+        heapq.heappush(self._queue, (int(time), self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.now + int(delay), fn)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when simulated time would exceed
+        ``until``, when ``max_events`` events have been processed, or when
+        ``stop_when()`` becomes true (checked between events).  Returns the
+        number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            if stop_when is not None and stop_when():
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, _seq, fn = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            fn()
+            processed += 1
+        self._events_processed += processed
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+
+class Signal:
+    """A broadcast wake-up: callbacks registered with :meth:`wait` all run
+    (in registration order) when :meth:`fire` is called.
+
+    Waiters are one-shot; a waiter that wants to keep watching re-registers.
+    ``cancel`` removes a waiter that is no longer interested (e.g. a thread
+    that got preempted while spinning).
+    """
+
+    __slots__ = ("_sim", "_waiters", "_next_id")
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._waiters: Dict[int, Callable[[Any], None]] = {}
+        self._next_id = 0
+
+    def wait(self, fn: Callable[[Any], None]) -> int:
+        """Register ``fn`` to be called with the fire payload. Returns a
+        token usable with :meth:`cancel`."""
+        token = self._next_id
+        self._next_id += 1
+        self._waiters[token] = fn
+        return token
+
+    def cancel(self, token: int) -> bool:
+        """Deregister a waiter; returns whether it was still registered."""
+        return self._waiters.pop(token, None) is not None
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current waiters *now* (same cycle). Returns the number
+        of waiters woken.  Waiters registered during the firing are not
+        woken by this call."""
+        waiters = self._waiters
+        self._waiters = {}
+        for fn in waiters.values():
+            fn(payload)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Server:
+    """A resource that services requests one at a time, FIFO.
+
+    ``request(service, fn)`` schedules ``fn`` to run once the server has
+    finished all previously accepted work plus ``service`` cycles for this
+    request.  Utilisation statistics are tracked for reporting (e.g. link
+    saturation in the Model B interconnect).
+    """
+
+    __slots__ = ("_sim", "name", "_free_at", "busy_cycles", "requests")
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self._sim = sim
+        self.name = name
+        self._free_at: int = 0
+        self.busy_cycles: int = 0
+        self.requests: int = 0
+
+    def request(self, service: int, fn: Callable[[], None]) -> int:
+        """Enqueue work taking ``service`` cycles; ``fn`` runs at completion.
+        Returns the completion time."""
+        if service < 0:
+            raise SimulationError(f"negative service time {service}")
+        start = max(self._sim.now, self._free_at)
+        done = start + int(service)
+        self._free_at = done
+        self.busy_cycles += int(service)
+        self.requests += 1
+        self._sim.at(done, fn)
+        return done
+
+    def queue_delay(self) -> int:
+        """Cycles a request arriving now would wait before service begins."""
+        return max(0, self._free_at - self._sim.now)
+
+    def utilisation(self) -> float:
+        """Fraction of elapsed simulated time this server was busy."""
+        if self._sim.now == 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / self._sim.now)

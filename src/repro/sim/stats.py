@@ -1,0 +1,98 @@
+"""Lightweight statistics accumulators used by the harness and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Accumulator:
+    """Streaming mean / variance / min / max accumulator (Welford)."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self.min = x if self.min is None else min(self.min, x)
+        self.max = x if self.max is None else max(self.max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def confidence95(self) -> float:
+        """Half-width of a normal-approximation 95% confidence interval."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.stdev / math.sqrt(self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Accumulator(n={self.n}, mean={self.mean:.2f})"
+
+
+def jain_fairness(values: Iterable[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = maximally unfair.
+
+    Used to quantify the fairness claims of the paper (LCU's FIFO-ish
+    queueing vs SSB's reader preference / TAS's coherence capture).
+    """
+    vals: List[float] = list(values)
+    if not vals:
+        return 1.0
+    s = sum(vals)
+    sq = sum(v * v for v in vals)
+    if sq == 0:
+        return 1.0
+    return (s * s) / (len(vals) * sq)
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency distributions."""
+
+    def __init__(self, bucket_width: int = 100) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.bucket_width = bucket_width
+        self.buckets: Dict[int, int] = {}
+        self.acc = Accumulator()
+
+    def add(self, x: float) -> None:
+        self.acc.add(x)
+        b = int(x // self.bucket_width)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile (bucket upper bound), p in [0, 100]."""
+        if not self.buckets:
+            return 0.0
+        target = self.acc.n * p / 100.0
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= target:
+                return (b + 1) * self.bucket_width
+        return (max(self.buckets) + 1) * self.bucket_width

@@ -1,0 +1,106 @@
+"""Optional event tracing for protocol debugging and analysis.
+
+A :class:`Tracer` collects timestamped records (network messages by
+default) with bounded memory, supports address/type filters, and renders
+ladder-style text dumps — the tool used to debug the LCU/LRT protocol
+during development, shipped for anyone extending it.
+
+Usage::
+
+    tracer = Tracer.attach(machine, addr_filter={lock_addr})
+    ... run ...
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Deque, Iterable, List, NamedTuple, Optional, Set
+
+
+class TraceRecord(NamedTuple):
+    time: int
+    src: Any
+    dst: Any
+    payload: Any
+
+    def render(self) -> str:
+        return (
+            f"{self.time:>10d}  {_ep(self.src):>10s} -> {_ep(self.dst):<10s}"
+            f"  {self.payload!r}"
+        )
+
+
+def _ep(ep: Any) -> str:
+    if isinstance(ep, tuple) and len(ep) == 2:
+        return f"{ep[0]}{ep[1]}"
+    return str(ep)
+
+
+class Tracer:
+    """Bounded in-memory message trace attached to a machine's network."""
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        addr_filter: Optional[Set[int]] = None,
+        type_filter: Optional[Set[type]] = None,
+    ) -> None:
+        self.records: Deque[TraceRecord] = collections.deque(maxlen=capacity)
+        self.addr_filter = addr_filter
+        self.type_filter = type_filter
+        self.dropped = 0
+        self._detach = None
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def attach(cls, machine, **kwargs) -> "Tracer":
+        """Wrap ``machine.net.send`` to record matching messages.  Call
+        :meth:`detach` to restore the original send."""
+        tracer = cls(**kwargs)
+        net = machine.net
+        original = net.send
+
+        def traced_send(src, dst, payload, on_deliver=None):
+            tracer.record(machine.sim.now, src, dst, payload)
+            return original(src, dst, payload, on_deliver)
+
+        net.send = traced_send
+        tracer._detach = lambda: setattr(net, "send", original)
+        return tracer
+
+    def detach(self) -> None:
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, time: int, src: Any, dst: Any, payload: Any) -> None:
+        if self.addr_filter is not None:
+            addr = getattr(payload, "addr", None)
+            if addr not in self.addr_filter:
+                self.dropped += 1
+                return
+        if self.type_filter is not None and not isinstance(
+            payload, tuple(self.type_filter)
+        ):
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, src, dst, payload))
+
+    def between(self, t0: int, t1: int) -> List[TraceRecord]:
+        return [r for r in self.records if t0 <= r.time <= t1]
+
+    def of_type(self, *types: type) -> List[TraceRecord]:
+        return [r for r in self.records if isinstance(r.payload, types)]
+
+    def render(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        recs = list(records) if records is not None else list(self.records)
+        if not recs:
+            return "(no trace records)"
+        return "\n".join(r.render() for r in recs)
+
+    def __len__(self) -> int:
+        return len(self.records)

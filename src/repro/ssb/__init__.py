@@ -1,0 +1,5 @@
+"""Synchronization State Buffer baseline (Zhu et al., ISCA'07)."""
+
+from repro.ssb.ssb import SSB
+
+__all__ = ["SSB"]

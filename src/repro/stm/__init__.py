@@ -1,0 +1,5 @@
+"""Object-based STM (OSTM-style) with commit-time reader-writer locking."""
+
+from repro.stm.core import AbortTx, ObjectSTM, StmStats, TObj, TooManyRetries, Tx
+
+__all__ = ["AbortTx", "ObjectSTM", "StmStats", "TObj", "TooManyRetries", "Tx"]

@@ -1,0 +1,354 @@
+"""Object-based software transactional memory over the simulated machine.
+
+Modelled on Fraser's OSTM as used by the paper (Section IV-B): an
+object-granular STM with commit-time locking and a global version clock
+(TL2-style opacity so traversals never see mixed states).  Three
+configurations reproduce the paper's systems:
+
+* ``sw-only`` — commit acquires *read* locks on the read set and write
+  locks on the write set using software MRSW locks ("visible readers").
+  Read-locking the data-structure root at every commit is the coherence
+  hotspot the paper measures.
+* ``lcu`` / ``ssb`` — the same visible-reader protocol with hardware
+  reader-writer locks.
+* ``fraser`` — invisible readers: only the write set is locked at commit
+  and the read set is validated against versions + commit-lock marks.
+  Faster, but loses privatization safety (as the paper notes), so it is a
+  reference point rather than a safe equivalent.
+
+Transactions are generators: the body receives a :class:`Tx` and uses
+``yield from tx.read(obj)`` / ``yield from tx.write(obj, value)``; every
+STM operation charges simulated memory accesses and lock operations, so
+STM scaling emerges from the machine model rather than being assumed.
+
+Deadlock freedom: commit locks are acquired in global address order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.cpu import ops
+from repro.cpu.machine import Machine
+from repro.cpu.os_sched import SimThread
+from repro.locks.base import get_algorithm
+
+
+class AbortTx(Exception):
+    """Raised inside a transaction body to force a retry (conflict)."""
+
+
+class TooManyRetries(RuntimeError):
+    """A transaction failed to commit within the retry budget."""
+
+
+class TObj:
+    """One transactional object: a committed value + version, with a
+    simulated header address and a lock handle."""
+
+    __slots__ = ("addr", "value", "version", "lock_handle", "commit_locked")
+
+    def __init__(self, addr: int, value: Any, lock_handle: Any) -> None:
+        self.addr = addr
+        self.value = value
+        self.version = 0
+        self.lock_handle = lock_handle
+        # id of the Tx currently holding this object's commit write lock
+        self.commit_locked: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TObj({self.addr:#x}, v{self.version}, {self.value!r})"
+
+
+@dataclasses.dataclass
+class StmStats:
+    commits: int = 0
+    aborts: int = 0
+    app_cycles: int = 0
+    commit_cycles: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.commits + self.aborts
+        return self.aborts / total if total else 0.0
+
+
+class ObjectSTM:
+    """One STM instance bound to one machine."""
+
+    VARIANTS = {
+        # name -> (lock algorithm, visible readers)
+        "sw-only": ("mrsw", True),
+        "lcu": ("lcu", True),
+        "ssb": ("ssb", True),
+        "fraser": ("mrsw", False),
+    }
+
+    #: contention-manager policies: retry delay as f(attempt) cycles
+    BACKOFF_POLICIES = {
+        "exponential": lambda attempt: min(40 * (2 ** min(attempt, 6)), 2_000),
+        "linear": lambda attempt: min(80 * (attempt + 1), 2_000),
+        "none": lambda attempt: 1,
+    }
+
+    def __init__(
+        self,
+        machine: Machine,
+        variant: str = "sw-only",
+        irrevocable_support: bool = False,
+        backoff: str = "exponential",
+    ) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(
+                f"unknown STM variant {variant!r}; known: "
+                f"{sorted(self.VARIANTS)}"
+            )
+        if backoff not in self.BACKOFF_POLICIES:
+            raise ValueError(
+                f"unknown backoff policy {backoff!r}; known: "
+                f"{sorted(self.BACKOFF_POLICIES)}"
+            )
+        self._backoff_of = self.BACKOFF_POLICIES[backoff]
+        self.backoff_policy = backoff
+        lock_name, visible = self.VARIANTS[variant]
+        self.machine = machine
+        self.variant = variant
+        self.visible_readers = visible
+        self.algo = get_algorithm(lock_name)(machine)
+        self.clock = 0
+        self.stats = StmStats()
+        self._next_tx_id = 1
+        # Irrevocability (a benefit of RW-lock STMs the paper cites via
+        # Dice & Shavit): one reader-writer token — regular commits hold
+        # it in read mode (they proceed concurrently), an irrevocable
+        # transaction holds it in write mode and thus runs against a
+        # frozen object world, so it can never abort.
+        self.irrevocable_support = irrevocable_support
+        self._irrev_token = self.algo.make_lock() if irrevocable_support else None
+
+    def alloc(self, value: Any) -> TObj:
+        """Allocate a transactional object holding ``value``."""
+        return TObj(
+            self.machine.alloc.alloc_line(), value, self.algo.make_lock()
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        thread: SimThread,
+        body: Callable[["Tx"], Generator],
+        max_retries: int = 200,
+    ) -> Generator:
+        """Run ``body`` transactionally; the generator's return value is
+        the body's return value from the committing attempt.  The retry
+        delay follows the STM's contention-manager policy (``backoff``
+        constructor argument)."""
+        sim = self.machine.sim
+        for attempt in range(max_retries):
+            tx = Tx(self, thread)
+            t0 = sim.now
+            try:
+                result = yield from body(tx)
+            except AbortTx:
+                self.stats.aborts += 1
+                self.stats.app_cycles += sim.now - t0
+                yield ops.Compute(self._backoff_of(attempt))
+                continue
+            t1 = sim.now
+            self.stats.app_cycles += t1 - t0
+            ok = yield from tx._commit()
+            self.stats.commit_cycles += sim.now - t1
+            if ok:
+                self.stats.commits += 1
+                return result
+            self.stats.aborts += 1
+            yield ops.Compute(self._backoff_of(attempt))
+        raise TooManyRetries(
+            f"transaction aborted {max_retries} times ({self.variant})"
+        )
+
+    def run_irrevocable(
+        self, thread: SimThread, body: Callable[["IrrevocableTx"], Generator]
+    ) -> Generator:
+        """Run ``body`` as an *irrevocable* transaction: it executes
+        exactly once and can never abort.  Requires
+        ``irrevocable_support=True`` (which makes regular commits take
+        the irrevocability token in read mode)."""
+        if not self.irrevocable_support:
+            raise RuntimeError(
+                "construct the STM with irrevocable_support=True"
+            )
+        sim = self.machine.sim
+        t0 = sim.now
+        yield from self.algo.lock(thread, self._irrev_token, True)
+        tx = IrrevocableTx(self)
+        result = yield from body(tx)
+        if tx.written:
+            self.clock += 1
+            for obj in tx.written:
+                yield ops.Store(obj.addr, self.clock)
+                obj.version = self.clock
+        yield from self.algo.unlock(thread, self._irrev_token, True)
+        self.stats.commits += 1
+        self.stats.commit_cycles += sim.now - t0
+        return result
+
+
+class IrrevocableTx:
+    """Transaction handle for :meth:`ObjectSTM.run_irrevocable`.
+
+    With the irrevocability token held in write mode no regular commit
+    can run, so objects are frozen: reads return committed values
+    directly and writes apply in place (versions are bumped once at the
+    end so doomed concurrent regular transactions notice)."""
+
+    __slots__ = ("stm", "written")
+
+    def __init__(self, stm: ObjectSTM) -> None:
+        self.stm = stm
+        self.written: List[TObj] = []
+
+    def read(self, obj: TObj) -> Generator:
+        self.stm.stats.reads += 1
+        yield ops.Load(obj.addr)
+        return obj.value
+
+    def write(self, obj: TObj, value: Any) -> Generator:
+        self.stm.stats.writes += 1
+        yield ops.Store(obj.addr, 0)
+        if obj.value is not value:
+            obj.value = value
+        if obj not in self.written:
+            self.written.append(obj)
+
+    def read_new(self, value: Any) -> TObj:
+        obj = self.stm.alloc(value)
+        self.written.append(obj)
+        return obj
+
+
+class Tx:
+    """One transaction attempt."""
+
+    __slots__ = ("stm", "thread", "tx_id", "start_clock", "reads", "writes")
+
+    def __init__(self, stm: ObjectSTM, thread: SimThread) -> None:
+        self.stm = stm
+        self.thread = thread
+        self.tx_id = stm._next_tx_id
+        stm._next_tx_id += 1
+        self.start_clock = stm.clock
+        self.reads: Dict[TObj, int] = {}
+        self.writes: Dict[TObj, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # body-side operations
+
+    def read(self, obj: TObj) -> Generator:
+        """Open ``obj`` for reading; returns its (snapshot-consistent)
+        value.  Aborts if the object changed since the transaction began
+        (opacity — traversals never see mixed states)."""
+        if obj in self.writes:
+            return self.writes[obj]
+        self.stm.stats.reads += 1
+        if obj not in self.reads:
+            yield ops.Load(obj.addr)
+            if obj.version > self.start_clock or (
+                obj.commit_locked not in (None, self.tx_id)
+            ):
+                raise AbortTx()
+            self.reads[obj] = obj.version
+        return obj.value
+
+    def write(self, obj: TObj, value: Any) -> Generator:
+        """Open ``obj`` for writing; the new value is buffered until
+        commit."""
+        self.stm.stats.writes += 1
+        if obj not in self.writes and obj not in self.reads:
+            yield ops.Load(obj.addr)
+            if obj.version > self.start_clock or (
+                obj.commit_locked not in (None, self.tx_id)
+            ):
+                raise AbortTx()
+            self.reads[obj] = obj.version
+        self.writes[obj] = value
+
+    def read_new(self, value: Any) -> TObj:
+        """Allocate a transaction-private object (visible on commit)."""
+        obj = self.stm.alloc(value)
+        self.writes[obj] = value
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # commit
+
+    def _commit(self) -> Generator:
+        stm = self.stm
+        algo = stm.algo
+        if stm.irrevocable_support:
+            # Concurrent regular commits share the token in read mode; an
+            # irrevocable transaction excludes them all in write mode.
+            yield from algo.lock(self.thread, stm._irrev_token, False)
+        result = yield from self._commit_inner()
+        if stm.irrevocable_support:
+            yield from algo.unlock(self.thread, stm._irrev_token, False)
+        return result
+
+    def _commit_inner(self) -> Generator:
+        stm = self.stm
+        algo = stm.algo
+        to_lock: List[Tuple[TObj, bool]] = []
+        for obj in self.reads:
+            if obj in self.writes:
+                continue
+            if stm.visible_readers:
+                to_lock.append((obj, False))
+        for obj in self.writes:
+            to_lock.append((obj, True))
+        to_lock.sort(key=lambda p: p[0].addr)
+
+        acquired: List[Tuple[TObj, bool]] = []
+        for obj, write in to_lock:
+            yield from algo.lock(self.thread, obj.lock_handle, write)
+            acquired.append((obj, write))
+            if write:
+                obj.commit_locked = self.tx_id
+
+        # validate the read set
+        valid = True
+        for obj, ver in self.reads.items():
+            yield ops.Load(obj.addr)
+            if obj.version != ver or (
+                obj.commit_locked not in (None, self.tx_id)
+            ):
+                valid = False
+                break
+
+        # Read locks have done their job once validation completes:
+        # release them *before* write-back, and in acquisition (address)
+        # order so the hottest locks — structure roots have the lowest
+        # addresses — unblock waiters and let Head tokens sweep reader
+        # chains as early as possible.  (Holding read locks across the
+        # write-back pins LCU entries long enough to exhaust the table
+        # on deep structures; see DESIGN.md.)
+        for obj, write in acquired:
+            if not write:
+                yield from algo.unlock(self.thread, obj.lock_handle, False)
+
+        if valid and self.writes:
+            stm.clock += 1
+            commit_version = stm.clock
+            for obj, value in self.writes.items():
+                yield ops.Store(obj.addr, commit_version)
+                obj.value = value
+                obj.version = commit_version
+
+        for obj, write in acquired:
+            if write:
+                obj.commit_locked = None
+                yield from algo.unlock(self.thread, obj.lock_handle, True)
+        return valid

@@ -1,0 +1,7 @@
+"""Transactional data structures used by the STM benchmarks."""
+
+from repro.stm.structures.hashtable import HashTable
+from repro.stm.structures.rbtree import RBTree
+from repro.stm.structures.skiplist import SkipList
+
+__all__ = ["HashTable", "RBTree", "SkipList"]

@@ -1,0 +1,378 @@
+"""Transactional red-black tree (integer set), CLRS-style.
+
+The STM benchmark the paper uses most: every operation starts at the
+root, so with visible readers the root's lock is read-locked by *every*
+committing transaction — the coherence hotspot of Figures 11/12.
+
+Nodes are :class:`~repro.stm.core.TObj` instances whose committed value
+is an immutable :class:`RBNode` record.  A ``nil`` sentinel object plays
+CLRS's ``T.nil`` but is *static* — it is never read or written through
+the STM (CLRS's trick of stashing the parent in ``nil`` during delete is
+replaced by passing the parent explicitly), so the sentinel creates no
+artificial contention.
+
+All methods are generators to be run inside a transaction body
+(``yield from tree.insert(tx, key)``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, NamedTuple, Optional
+
+from repro.stm.core import ObjectSTM, TObj, Tx
+
+
+class RBNode(NamedTuple):
+    key: Optional[int]
+    red: bool
+    left: TObj
+    right: TObj
+    parent: TObj
+
+
+class RBTree:
+    """Red-black tree set with transactional operations."""
+
+    def __init__(self, stm: ObjectSTM) -> None:
+        self.stm = stm
+        self.nil = stm.alloc(None)
+        self.nil.value = RBNode(None, False, self.nil, self.nil, self.nil)
+        # the root pointer is itself transactional (root replacement)
+        self.root_ptr = stm.alloc(self.nil)
+
+    # ------------------------------------------------------------------ #
+    # field helpers (nil is static: no STM traffic)
+
+    def _get(self, tx: Tx, node: TObj) -> Generator:
+        if node is self.nil:
+            return self.nil.value
+        v = yield from tx.read(node)
+        return v
+
+    def _update(self, tx: Tx, node: TObj, **fields) -> Generator:
+        assert node is not self.nil, "attempt to mutate the nil sentinel"
+        v = yield from self._get(tx, node)
+        yield from tx.write(node, v._replace(**fields))
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def contains(self, tx: Tx, key: int) -> Generator:
+        node = yield from tx.read(self.root_ptr)
+        while node is not self.nil:
+            v = yield from self._get(tx, node)
+            if key == v.key:
+                return True
+            node = v.left if key < v.key else v.right
+        return False
+
+    def snapshot_keys(self, tx: Tx) -> Generator:
+        """In-order key list (test/validation helper)."""
+        out = []
+        root = yield from tx.read(self.root_ptr)
+
+        def walk(n):
+            if n is self.nil:
+                return
+            v = yield from self._get(tx, n)
+            yield from walk(v.left)
+            out.append(v.key)
+            yield from walk(v.right)
+
+        yield from walk(root)
+        return out
+
+    def check_invariants(self, tx: Tx) -> Generator:
+        """Verify RB invariants; returns the black height.  Test helper —
+        raises AssertionError on violation."""
+        root = yield from tx.read(self.root_ptr)
+        rv = yield from self._get(tx, root)
+        assert not rv.red or root is self.nil, "red root"
+
+        def check(n) -> Generator:
+            if n is self.nil:
+                return 1
+            v = yield from self._get(tx, n)
+            lh = yield from check(v.left)
+            rh = yield from check(v.right)
+            assert lh == rh, f"black-height mismatch at {v.key}"
+            if v.red:
+                lv = yield from self._get(tx, v.left)
+                rvv = yield from self._get(tx, v.right)
+                assert not lv.red and not rvv.red, f"red-red at {v.key}"
+            return lh + (0 if v.red else 1)
+
+        h = yield from check(root)
+        return h
+
+    # ------------------------------------------------------------------ #
+    # rotations (CLRS 13.2)
+
+    def _rotate_left(self, tx: Tx, x: TObj) -> Generator:
+        xv = yield from self._get(tx, x)
+        y = xv.right
+        yv = yield from self._get(tx, y)
+        yield from self._update(tx, x, right=yv.left)
+        if yv.left is not self.nil:
+            yield from self._update(tx, yv.left, parent=x)
+        yield from self._update(tx, y, parent=xv.parent)
+        if xv.parent is self.nil:
+            yield from tx.write(self.root_ptr, y)
+        else:
+            pv = yield from self._get(tx, xv.parent)
+            if pv.left is x:
+                yield from self._update(tx, xv.parent, left=y)
+            else:
+                yield from self._update(tx, xv.parent, right=y)
+        yield from self._update(tx, y, left=x)
+        yield from self._update(tx, x, parent=y)
+
+    def _rotate_right(self, tx: Tx, x: TObj) -> Generator:
+        xv = yield from self._get(tx, x)
+        y = xv.left
+        yv = yield from self._get(tx, y)
+        yield from self._update(tx, x, left=yv.right)
+        if yv.right is not self.nil:
+            yield from self._update(tx, yv.right, parent=x)
+        yield from self._update(tx, y, parent=xv.parent)
+        if xv.parent is self.nil:
+            yield from tx.write(self.root_ptr, y)
+        else:
+            pv = yield from self._get(tx, xv.parent)
+            if pv.right is x:
+                yield from self._update(tx, xv.parent, right=y)
+            else:
+                yield from self._update(tx, xv.parent, left=y)
+        yield from self._update(tx, y, right=x)
+        yield from self._update(tx, x, parent=y)
+
+    # ------------------------------------------------------------------ #
+    # insert (CLRS 13.3)
+
+    def insert(self, tx: Tx, key: int) -> Generator:
+        """Insert ``key``; returns False if already present."""
+        parent = self.nil
+        node = yield from tx.read(self.root_ptr)
+        while node is not self.nil:
+            v = yield from self._get(tx, node)
+            if key == v.key:
+                return False
+            parent = node
+            node = v.left if key < v.key else v.right
+
+        z = tx.read_new(RBNode(key, True, self.nil, self.nil, parent))
+        if parent is self.nil:
+            yield from tx.write(self.root_ptr, z)
+        else:
+            pv = yield from self._get(tx, parent)
+            if key < pv.key:
+                yield from self._update(tx, parent, left=z)
+            else:
+                yield from self._update(tx, parent, right=z)
+        yield from self._insert_fixup(tx, z)
+        return True
+
+    def _insert_fixup(self, tx: Tx, z: TObj) -> Generator:
+        while True:
+            zv = yield from self._get(tx, z)
+            if zv.parent is self.nil:
+                break
+            pv = yield from self._get(tx, zv.parent)
+            if not pv.red:
+                break
+            gp = pv.parent
+            gv = yield from self._get(tx, gp)
+            if zv.parent is gv.left:
+                uncle = gv.right
+                uv = yield from self._get(tx, uncle)
+                if uv.red:
+                    yield from self._update(tx, zv.parent, red=False)
+                    yield from self._update(tx, uncle, red=False)
+                    yield from self._update(tx, gp, red=True)
+                    z = gp
+                else:
+                    if z is pv.right:
+                        z = zv.parent
+                        yield from self._rotate_left(tx, z)
+                        zv = yield from self._get(tx, z)
+                        pv = yield from self._get(tx, zv.parent)
+                        gp = pv.parent
+                    yield from self._update(tx, zv.parent, red=False)
+                    yield from self._update(tx, gp, red=True)
+                    yield from self._rotate_right(tx, gp)
+            else:
+                uncle = gv.left
+                uv = yield from self._get(tx, uncle)
+                if uv.red:
+                    yield from self._update(tx, zv.parent, red=False)
+                    yield from self._update(tx, uncle, red=False)
+                    yield from self._update(tx, gp, red=True)
+                    z = gp
+                else:
+                    if z is pv.left:
+                        z = zv.parent
+                        yield from self._rotate_right(tx, z)
+                        zv = yield from self._get(tx, z)
+                        pv = yield from self._get(tx, zv.parent)
+                        gp = pv.parent
+                    yield from self._update(tx, zv.parent, red=False)
+                    yield from self._update(tx, gp, red=True)
+                    yield from self._rotate_left(tx, gp)
+        root = yield from tx.read(self.root_ptr)
+        if root is not self.nil:
+            rv = yield from self._get(tx, root)
+            if rv.red:
+                yield from self._update(tx, root, red=False)
+
+    # ------------------------------------------------------------------ #
+    # delete (CLRS 13.4, with the fixup parent passed explicitly so the
+    # static nil sentinel is never written)
+
+    def _transplant(self, tx: Tx, u: TObj, v: TObj) -> Generator:
+        uv = yield from self._get(tx, u)
+        if uv.parent is self.nil:
+            yield from tx.write(self.root_ptr, v)
+        else:
+            pv = yield from self._get(tx, uv.parent)
+            if pv.left is u:
+                yield from self._update(tx, uv.parent, left=v)
+            else:
+                yield from self._update(tx, uv.parent, right=v)
+        if v is not self.nil:
+            yield from self._update(tx, v, parent=uv.parent)
+
+    def _minimum(self, tx: Tx, node: TObj) -> Generator:
+        while True:
+            v = yield from self._get(tx, node)
+            if v.left is self.nil:
+                return node
+            node = v.left
+
+    def remove(self, tx: Tx, key: int) -> Generator:
+        """Remove ``key``; returns False if absent."""
+        z = yield from tx.read(self.root_ptr)
+        while z is not self.nil:
+            v = yield from self._get(tx, z)
+            if key == v.key:
+                break
+            z = v.left if key < v.key else v.right
+        if z is self.nil:
+            return False
+
+        zv = yield from self._get(tx, z)
+        y_originally_red = zv.red
+        if zv.left is self.nil:
+            x = zv.right
+            fix_parent = zv.parent
+            yield from self._transplant(tx, z, zv.right)
+        elif zv.right is self.nil:
+            x = zv.left
+            fix_parent = zv.parent
+            yield from self._transplant(tx, z, zv.left)
+        else:
+            y = yield from self._minimum(tx, zv.right)
+            yv = yield from self._get(tx, y)
+            y_originally_red = yv.red
+            x = yv.right
+            if yv.parent is z:
+                fix_parent = y
+                if x is not self.nil:
+                    yield from self._update(tx, x, parent=y)
+            else:
+                fix_parent = yv.parent
+                yield from self._transplant(tx, y, yv.right)
+                zv = yield from self._get(tx, z)
+                yield from self._update(tx, y, right=zv.right)
+                yv2 = yield from self._get(tx, y)
+                yield from self._update(tx, yv2.right, parent=y)
+            yield from self._transplant(tx, z, y)
+            zv = yield from self._get(tx, z)
+            yield from self._update(tx, y, left=zv.left, red=zv.red)
+            yv2 = yield from self._get(tx, y)
+            yield from self._update(tx, yv2.left, parent=y)
+        if not y_originally_red:
+            yield from self._delete_fixup(tx, x, fix_parent)
+        return True
+
+    def _delete_fixup(self, tx: Tx, x: TObj, p: TObj) -> Generator:
+        while True:
+            root = yield from tx.read(self.root_ptr)
+            if x is root:
+                break
+            if x is not self.nil:
+                xv = yield from self._get(tx, x)
+                if xv.red:
+                    break
+            pv = yield from self._get(tx, p)
+            if x is pv.left:
+                w = pv.right
+                wv = yield from self._get(tx, w)
+                if wv.red:
+                    yield from self._update(tx, w, red=False)
+                    yield from self._update(tx, p, red=True)
+                    yield from self._rotate_left(tx, p)
+                    pv = yield from self._get(tx, p)
+                    w = pv.right
+                    wv = yield from self._get(tx, w)
+                wl = yield from self._get(tx, wv.left)
+                wr = yield from self._get(tx, wv.right)
+                if not wl.red and not wr.red:
+                    yield from self._update(tx, w, red=True)
+                    x = p
+                    xv = yield from self._get(tx, x)
+                    p = xv.parent
+                else:
+                    if not wr.red:
+                        yield from self._update(tx, wv.left, red=False)
+                        yield from self._update(tx, w, red=True)
+                        yield from self._rotate_right(tx, w)
+                        pv = yield from self._get(tx, p)
+                        w = pv.right
+                        wv = yield from self._get(tx, w)
+                    pv = yield from self._get(tx, p)
+                    yield from self._update(tx, w, red=pv.red)
+                    yield from self._update(tx, p, red=False)
+                    wv = yield from self._get(tx, w)
+                    if wv.right is not self.nil:
+                        yield from self._update(tx, wv.right, red=False)
+                    yield from self._rotate_left(tx, p)
+                    x = yield from tx.read(self.root_ptr)
+                    p = self.nil
+            else:
+                w = pv.left
+                wv = yield from self._get(tx, w)
+                if wv.red:
+                    yield from self._update(tx, w, red=False)
+                    yield from self._update(tx, p, red=True)
+                    yield from self._rotate_right(tx, p)
+                    pv = yield from self._get(tx, p)
+                    w = pv.left
+                    wv = yield from self._get(tx, w)
+                wl = yield from self._get(tx, wv.left)
+                wr = yield from self._get(tx, wv.right)
+                if not wl.red and not wr.red:
+                    yield from self._update(tx, w, red=True)
+                    x = p
+                    xv = yield from self._get(tx, x)
+                    p = xv.parent
+                else:
+                    if not wl.red:
+                        yield from self._update(tx, wv.right, red=False)
+                        yield from self._update(tx, w, red=True)
+                        yield from self._rotate_left(tx, w)
+                        pv = yield from self._get(tx, p)
+                        w = pv.left
+                        wv = yield from self._get(tx, w)
+                    pv = yield from self._get(tx, p)
+                    yield from self._update(tx, w, red=pv.red)
+                    yield from self._update(tx, p, red=False)
+                    wv = yield from self._get(tx, w)
+                    if wv.left is not self.nil:
+                        yield from self._update(tx, wv.left, red=False)
+                    yield from self._rotate_right(tx, p)
+                    x = yield from tx.read(self.root_ptr)
+                    p = self.nil
+        if x is not self.nil:
+            xv = yield from self._get(tx, x)
+            if xv.red:
+                yield from self._update(tx, x, red=False)

@@ -1,0 +1,114 @@
+"""Transactional skip list (integer set).
+
+Like the RB-tree, every traversal begins at the head tower, making the
+head the reader-locking hotspot under visible readers.  Node levels are
+drawn deterministically from a hash of the key so runs are reproducible.
+
+Node value: ``(key, nexts)`` where ``nexts`` is a tuple of successor
+TObjs (or None for tail), one per level.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Generator, List, Optional
+
+from repro.stm.core import ObjectSTM, TObj, Tx
+
+MAX_LEVEL = 12
+
+
+def _level_of(key: int, max_level: int = MAX_LEVEL) -> int:
+    """Deterministic pseudo-random tower height for ``key`` (p = 1/2)."""
+    h = int.from_bytes(
+        hashlib.blake2b(str(key).encode(), digest_size=8).digest(), "big"
+    )
+    level = 1
+    while h & 1 and level < max_level:
+        level += 1
+        h >>= 1
+    return level
+
+
+class SkipList:
+    """Skip-list set with transactional operations."""
+
+    def __init__(self, stm: ObjectSTM) -> None:
+        self.stm = stm
+        # head holds no key; its tower spans every level
+        self.head = stm.alloc((None, (None,) * MAX_LEVEL))
+
+    # ------------------------------------------------------------------ #
+
+    def _find_preds(self, tx: Tx, key: int) -> Generator:
+        """Return (preds, found): predecessor node per level and whether
+        the key's node was seen at the bottom level."""
+        preds: List[TObj] = [self.head] * MAX_LEVEL
+        node = self.head
+        value = yield from tx.read(node)
+        for lvl in range(MAX_LEVEL - 1, -1, -1):
+            nxt = value[1][lvl]
+            while nxt is not None:
+                nv = yield from tx.read(nxt)
+                if nv[0] >= key:
+                    break
+                node, value = nxt, nv
+                nxt = value[1][lvl]
+            preds[lvl] = node
+        # at bottom level: check the successor
+        bottom_next = value[1][0]
+        found = False
+        if bottom_next is not None:
+            nv = yield from tx.read(bottom_next)
+            found = nv[0] == key
+        return preds, found, bottom_next
+
+    def contains(self, tx: Tx, key: int) -> Generator:
+        _preds, found, _nxt = yield from self._find_preds(tx, key)
+        return found
+
+    def insert(self, tx: Tx, key: int) -> Generator:
+        """Insert ``key``; returns False if already present."""
+        preds, found, succ = yield from self._find_preds(tx, key)
+        if found:
+            return False
+        level = _level_of(key)
+        # build the new node's next pointers from the predecessors
+        nexts: List[Optional[TObj]] = []
+        for lvl in range(level):
+            pv = yield from tx.read(preds[lvl])
+            nexts.append(pv[1][lvl])
+        node = tx.read_new((key, tuple(nexts) + (None,) * (MAX_LEVEL - level)))
+        for lvl in range(level):
+            pv = yield from tx.read(preds[lvl])
+            new_nexts = list(pv[1])
+            new_nexts[lvl] = node
+            yield from tx.write(preds[lvl], (pv[0], tuple(new_nexts)))
+        return True
+
+    def remove(self, tx: Tx, key: int) -> Generator:
+        """Remove ``key``; returns False if absent."""
+        preds, found, target = yield from self._find_preds(tx, key)
+        if not found or target is None:
+            return False
+        tv = yield from tx.read(target)
+        level = _level_of(key)
+        for lvl in range(level):
+            pv = yield from tx.read(preds[lvl])
+            if pv[1][lvl] is not target:
+                continue  # tower shorter than expected at this level
+            new_nexts = list(pv[1])
+            new_nexts[lvl] = tv[1][lvl]
+            yield from tx.write(preds[lvl], (pv[0], tuple(new_nexts)))
+        return True
+
+    def snapshot_keys(self, tx: Tx) -> Generator:
+        """Bottom-level key walk (test helper)."""
+        out = []
+        v = yield from tx.read(self.head)
+        node = v[1][0]
+        while node is not None:
+            nv = yield from tx.read(node)
+            out.append(nv[0])
+            node = nv[1][0]
+        return out

@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(small_test_model())
+
+
+@pytest.fixture
+def scheduler(machine: Machine) -> OS:
+    return OS(machine)
+
+
+class RWTracker:
+    """Asserts reader-writer exclusion from inside thread programs."""
+
+    def __init__(self) -> None:
+        self.readers = 0
+        self.writers = 0
+        self.max_readers = 0
+        self.total = 0
+        self.violations = []
+
+    def enter(self, write: bool) -> None:
+        if write:
+            if self.readers or self.writers:
+                self.violations.append(
+                    f"writer entered with r={self.readers} w={self.writers}"
+                )
+            self.writers += 1
+        else:
+            if self.writers:
+                self.violations.append(
+                    f"reader entered with w={self.writers}"
+                )
+            self.readers += 1
+            self.max_readers = max(self.max_readers, self.readers)
+
+    def exit(self, write: bool) -> None:
+        if write:
+            self.writers -= 1
+        else:
+            self.readers -= 1
+        self.total += 1
+
+    def assert_clean(self) -> None:
+        assert not self.violations, self.violations
+        assert self.readers == 0 and self.writers == 0
+
+
+def cs_program(algo, handle, tracker: RWTracker, iters: int, write_of=None,
+               cs_cycles: int = 25):
+    """Build a worker program factory running ``iters`` critical sections.
+
+    ``write_of(i)`` decides the mode of iteration ``i`` (default: writes).
+    """
+    def factory(thread):
+        def program(thread=thread):
+            for i in range(iters):
+                write = True if write_of is None else write_of(thread, i)
+                yield from algo.lock(thread, handle, write)
+                tracker.enter(write)
+                yield ops.Compute(cs_cycles)
+                tracker.exit(write)
+                yield from algo.unlock(thread, handle, write)
+        return program()
+    return factory
+
+
+def drain_and_check(machine: Machine) -> None:
+    """Settle in-flight traffic and assert no leaked hardware state."""
+    machine.drain()
+    machine.check_lock_invariants()
+    assert machine.total_lcu_entries_in_use() == 0
+    assert sum(l.live_locks for l in machine.lrts) == 0

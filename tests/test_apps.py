@@ -1,0 +1,78 @@
+"""Tests for the application workload kernels."""
+
+import pytest
+
+from repro.apps import all_apps, run_app
+from repro.apps.base import AppResult
+from repro.params import small_test_model
+
+FAST = dict(seeds=[1], max_cycles=5_000_000_000)
+
+
+class TestRegistry:
+    def test_all_three_apps_registered(self):
+        assert set(all_apps()) == {"fluidanimate", "cholesky", "radiosity"}
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            run_app(small_test_model(), "nope", "lcu")
+
+
+@pytest.mark.parametrize("app", ["fluidanimate", "cholesky", "radiosity"])
+@pytest.mark.parametrize("lock", ["pthread", "lcu", "ssb"])
+class TestAppsComplete:
+    def test_runs_to_completion(self, app, lock):
+        r = run_app(small_test_model(), app, lock, threads=4, **FAST)
+        assert isinstance(r, AppResult)
+        assert r.elapsed_mean > 0
+        assert r.runs == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        r1 = run_app(small_test_model(), "radiosity", "lcu", threads=4,
+                     seeds=[7])
+        r2 = run_app(small_test_model(), "radiosity", "lcu", threads=4,
+                     seeds=[7])
+        assert r1.elapsed_mean == r2.elapsed_mean
+
+    def test_different_seeds_vary(self):
+        r = run_app(small_test_model(), "cholesky", "lcu", threads=4,
+                    seeds=[1, 2, 3])
+        assert r.runs == 3
+        assert r.elapsed_ci95 >= 0
+
+
+class TestWorkConservation:
+    def test_cholesky_consumes_all_tasks(self):
+        """Every seeded task (plus spawned follow-ups) is executed exactly
+        once: the queue ends at zero."""
+        from repro import Machine, OS
+        from repro.apps.cholesky import Cholesky
+        from repro.locks import get_algorithm
+
+        m = Machine(small_test_model())
+        algo = get_algorithm("lcu")(m)
+        app = Cholesky(m, algo, threads=4, seed=1)
+        os_ = OS(m)
+        for i in range(4):
+            os_.spawn(lambda t, i=i: app.worker(t, i))
+        os_.run_all(max_cycles=10_000_000_000)
+        assert m.mem.peek(app.queue_len) == 0
+
+    def test_fluidanimate_updates_every_cell(self):
+        from repro import Machine, OS
+        from repro.apps.fluidanimate import Fluidanimate
+        from repro.locks import get_algorithm
+
+        m = Machine(small_test_model())
+        algo = get_algorithm("lcu")(m)
+        app = Fluidanimate(m, algo, threads=4, seed=1)
+        os_ = OS(m)
+        for i in range(4):
+            os_.spawn(lambda t, i=i: app.worker(t, i))
+        os_.run_all(max_cycles=10_000_000_000)
+        updated = sum(
+            1 for v in app.cell_values if m.mem.peek(v) > 0
+        )
+        assert updated > len(app.cell_values) * 0.2

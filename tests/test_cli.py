@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(list(argv))
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_tables(self):
+        code, out = run_cli("tables")
+        assert code == 0
+        assert "Figure 1" in out and "Figure 8" in out
+
+    def test_locks_lists_everything(self):
+        code, out = run_cli("locks")
+        assert code == 0
+        for name in ("lcu", "ssb", "mcs", "mrsw", "clh", "hbo"):
+            assert name in out
+
+    def test_microbench(self):
+        code, out = run_cli(
+            "microbench", "--threads", "4", "--iters", "20",
+            "--lock", "mcs",
+        )
+        assert code == 0
+        assert "cyc/CS" in out
+
+    def test_stm(self):
+        code, out = run_cli(
+            "stm", "--threads", "2", "--size", "64", "--txns", "8",
+        )
+        assert code == 0
+        assert "cyc/txn" in out
+
+    def test_app(self):
+        code, out = run_cli(
+            "app", "--name", "radiosity", "--lock", "pthread",
+            "--threads", "4", "--seeds", "1",
+        )
+        assert code == 0
+        assert "radiosity" in out
+
+    def test_unknown_lock_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["microbench", "--lock", "nope"])
+
+    def test_figure_names_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "fig9a"])
+        assert args.name == "fig9a"
+        for name in ("fig9b", "fig10a", "fig11a", "fig12a", "fig13"):
+            parser.parse_args(["figure", name])

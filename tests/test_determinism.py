@@ -1,0 +1,57 @@
+"""Bit-level reproducibility: identical inputs give identical runs.
+
+The whole evaluation methodology rests on deterministic simulation —
+every benchmark number must be replayable.  These tests re-run
+representative workloads and demand exact equality of finish times and
+statistics.
+"""
+
+from repro.apps import run_app
+from repro.harness.microbench import run_microbench
+from repro.harness.stm_bench import run_stm_bench
+from repro.params import model_a, small_test_model
+
+
+class TestDeterminism:
+    def test_microbench_replays_exactly(self):
+        kw = dict(threads=7, write_pct=40, iters_per_thread=25, seed=11)
+        a = run_microbench(small_test_model(), "lcu", **kw)
+        b = run_microbench(small_test_model(), "lcu", **kw)
+        assert a.elapsed == b.elapsed
+        assert a.per_thread_cs == b.per_thread_cs
+        assert a.acquire_latency_mean == b.acquire_latency_mean
+
+    def test_microbench_oversubscribed_replays(self):
+        """Preemption + migration paths must be deterministic too."""
+        def go():
+            cfg = small_test_model(timeslice=2_000)
+            return run_microbench(cfg, "mcs", threads=9, write_pct=100,
+                                  iters_per_thread=15, seed=3)
+        assert go().elapsed == go().elapsed
+
+    def test_stm_replays_exactly(self):
+        kw = dict(threads=4, initial_size=64, txns_per_thread=12, seed=5)
+        a = run_stm_bench(small_test_model(), "lcu", "rb", **kw)
+        b = run_stm_bench(small_test_model(), "lcu", "rb", **kw)
+        assert a.elapsed == b.elapsed
+        assert a.abort_rate == b.abort_rate
+
+    def test_app_replays_exactly(self):
+        a = run_app(small_test_model(), "fluidanimate", "ssb",
+                    threads=4, seeds=[2])
+        b = run_app(small_test_model(), "fluidanimate", "ssb",
+                    threads=4, seeds=[2])
+        assert a.elapsed_mean == b.elapsed_mean
+
+    def test_model_a_benchmarks_replay(self):
+        kw = dict(threads=16, write_pct=25, iters_per_thread=20)
+        a = run_microbench(model_a(), "lcu", **kw)
+        b = run_microbench(model_a(), "lcu", **kw)
+        assert a.elapsed == b.elapsed
+
+    def test_seed_changes_results(self):
+        """The seed must actually steer the randomness."""
+        kw = dict(threads=5, write_pct=50, iters_per_thread=25)
+        a = run_microbench(small_test_model(), "lcu", seed=1, **kw)
+        b = run_microbench(small_test_model(), "lcu", seed=2, **kw)
+        assert a.elapsed != b.elapsed

@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Server, Signal, SimulationError, Simulator
+
+
+class TestSimulator:
+    def test_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0
+        assert sim.pending_events == 0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.at(30, lambda: seen.append(30))
+        sim.at(10, lambda: seen.append(10))
+        sim.at(20, lambda: seen.append(20))
+        sim.run()
+        assert seen == [10, 20, 30]
+        assert sim.now == 30
+
+    def test_same_cycle_fifo(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.at(7, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.after(5, lambda: sim.after(5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [10]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+    def test_run_until_bounds_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.at(100, lambda: fired.append(1))
+        sim.run(until=50)
+        assert not fired
+        assert sim.now == 50
+        sim.run()
+        assert fired
+
+    def test_run_until_allows_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.at(50, lambda: fired.append(1))
+        sim.run(until=50)
+        assert fired
+
+    def test_stop_when(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            sim.after(1, tick)
+
+        sim.after(1, tick)
+        sim.run(stop_when=lambda: count[0] >= 10)
+        assert count[0] == 10
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(100):
+            sim.at(i, lambda: None)
+        n = sim.run(max_events=30)
+        assert n == 30
+        assert sim.pending_events == 70
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.at(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        got = []
+        sig.wait(lambda p: got.append(("a", p)))
+        sig.wait(lambda p: got.append(("b", p)))
+        n = sig.fire("x")
+        assert n == 2
+        assert got == [("a", "x"), ("b", "x")]
+        assert sig.waiter_count == 0
+
+    def test_waiters_are_one_shot(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        got = []
+        sig.wait(lambda p: got.append(p))
+        sig.fire(1)
+        sig.fire(2)
+        assert got == [1]
+
+    def test_cancel(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        got = []
+        tok = sig.wait(lambda p: got.append(p))
+        assert sig.cancel(tok) is True
+        assert sig.cancel(tok) is False
+        sig.fire(1)
+        assert got == []
+
+    def test_wait_during_fire_not_woken_by_same_fire(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        got = []
+
+        def rearming(p):
+            got.append(p)
+            sig.wait(rearming)
+
+        sig.wait(rearming)
+        sig.fire(1)
+        assert got == [1]
+        sig.fire(2)
+        assert got == [1, 2]
+
+
+class TestServer:
+    def test_uncontended_service(self):
+        sim = Simulator()
+        srv = Server(sim, "s")
+        done = []
+        srv.request(10, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10]
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        srv = Server(sim, "s")
+        done = []
+        srv.request(10, lambda: done.append(("a", sim.now)))
+        srv.request(10, lambda: done.append(("b", sim.now)))
+        srv.request(10, lambda: done.append(("c", sim.now)))
+        sim.run()
+        assert done == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_queue_delay(self):
+        sim = Simulator()
+        srv = Server(sim, "s")
+        srv.request(25, lambda: None)
+        assert srv.queue_delay() == 25
+
+    def test_utilisation(self):
+        sim = Simulator()
+        srv = Server(sim, "s")
+        srv.request(10, lambda: None)
+        sim.at(40, lambda: None)
+        sim.run()
+        assert srv.utilisation() == pytest.approx(0.25)
+
+    def test_negative_service_rejected(self):
+        sim = Simulator()
+        srv = Server(sim, "s")
+        with pytest.raises(SimulationError):
+            srv.request(-1, lambda: None)
+
+    def test_idle_gap_not_counted_busy(self):
+        sim = Simulator()
+        srv = Server(sim, "s")
+        srv.request(5, lambda: None)
+        sim.run()
+        sim.at(100, lambda: srv.request(5, lambda: None))
+        sim.run()
+        assert srv.busy_cycles == 10

@@ -1,0 +1,69 @@
+"""Smoke tests for the per-figure drivers (tiny scales).
+
+The benchmarks exercise the real scales; these tests pin the drivers'
+structure: series keys, x-axes, rendered text, and check dictionaries.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.figures import figure9, figure10, figure11, figure12
+
+
+class TestFigure9Driver:
+    def test_series_structure(self):
+        r = figure9("A", thread_counts=(2, 4), write_ratios=(100,),
+                    iters_per_thread=10)
+        assert r.figure == "fig9a"
+        assert set(r.series) == {"lcu-100%w", "ssb-100%w"}
+        assert all(len(v) == 2 for v in r.series.values())
+        assert "Figure 9a" in r.text
+        assert "lcu_beats_ssb_mutex" in r.checks
+
+    def test_model_b_variant(self):
+        r = figure9("B", thread_counts=(2,), write_ratios=(100,),
+                    iters_per_thread=10)
+        assert r.figure == "fig9b"
+        assert "Figure 9b" in r.text
+
+
+class TestFigure10Driver:
+    def test_single_line_locks_skipped_when_oversubscribed(self):
+        r = figure10("A", thread_counts=(2, 40), write_ratios=(100,),
+                     locks=("lcu", "tas"), iters_per_thread=5,
+                     quantum=50_000)
+        tas = r.series["tas-100%w"]
+        assert math.isnan(tas[1])
+        assert not math.isnan(tas[0])
+        assert not math.isnan(r.series["lcu-100%w"][1])
+
+    def test_rw_ratios_only_for_rw_locks(self):
+        r = figure10("A", thread_counts=(2,), write_ratios=(100, 25),
+                     locks=("lcu", "mcs"), iters_per_thread=5)
+        assert "lcu-25%w" in r.series
+        assert "mcs-25%w" not in r.series
+
+
+class TestFigure11Driver:
+    def test_dissection_table(self):
+        r = figure11("A", thread_counts=(1, 2),
+                     variants=("sw-only", "lcu", "fraser"),
+                     initial_size=32, txns_per_thread=6)
+        assert set(r.series) == {"sw-only", "lcu", "fraser"}
+        assert "app+commit" in r.text
+        assert "sw_only_degrades" in r.checks
+
+    def test_missing_variant_rejected(self):
+        with pytest.raises(ValueError):
+            figure11("A", thread_counts=(1,), variants=("bogus",),
+                     initial_size=16, txns_per_thread=2)
+
+
+class TestFigure12Driver:
+    def test_structures_axis(self):
+        r = figure12("A", threads=2, variants=("sw-only", "lcu"),
+                     sizes={"rb": 32, "hash": 64}, txns_per_thread=5)
+        assert r.xs == ["rb", "hash"]
+        assert len(r.series["lcu"]) == 2
+        assert "lcu_speedup_everywhere" in r.checks

@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (microbench, STM bench, reporting,
+tables) at tiny scales."""
+
+import math
+
+import pytest
+
+from repro.harness.microbench import run_microbench, sweep
+from repro.harness.reporting import geomean, render_series, render_table
+from repro.harness.stm_bench import run_stm_bench
+from repro.harness.tables import figure1_rows, figure1_table, figure8_table
+from repro.params import small_test_model
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table([["a", "bb"], ["ccc", 1.25]], floatfmt=".2f")
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.25" in lines[2]
+        assert "-+-" in lines[1]
+
+    def test_render_series(self):
+        out = render_series("x", [1, 2], {"s1": [10.0, 20.0]}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "s1" in out
+        assert "20.0" in out
+
+    def test_render_series_missing_points(self):
+        out = render_series("x", [1, 2, 3], {"s": [1.0]})
+        assert out.count("-") >= 2  # missing values rendered as '-'
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0, 5]) == pytest.approx(5.0)  # zeros skipped
+
+
+class TestMicrobench:
+    def test_basic_run(self):
+        r = run_microbench(
+            small_test_model(), "lcu", threads=3, write_pct=100,
+            iters_per_thread=10,
+        )
+        assert r.total_cs == 30
+        assert r.cycles_per_cs > 0
+        assert math.isfinite(r.cycles_per_cs)
+        assert 0 < r.fairness <= 1.0
+        assert len(r.per_thread_cs) == 3
+
+    def test_duration_mode(self):
+        r = run_microbench(
+            small_test_model(), "lcu", threads=3, write_pct=100,
+            mode="duration", duration=20_000,
+        )
+        assert r.total_cs > 0
+        assert r.elapsed >= 20_000
+
+    def test_fixed_roles(self):
+        r = run_microbench(
+            small_test_model(), "lcu", threads=4, write_pct=50,
+            fixed_roles=True, iters_per_thread=10,
+        )
+        # 2 permanent writers, 2 permanent readers
+        assert r.writer_cs == 20
+        assert r.reader_cs == 20
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            run_microbench(small_test_model(), "lcu", 2, mode="nope")
+
+    def test_sweep_structure(self):
+        out = sweep(
+            small_test_model, ["lcu", "tas"], [2, 3], 100,
+            iters_per_thread=5,
+        )
+        assert set(out) == {"lcu", "tas"}
+        assert [r.threads for r in out["lcu"]] == [2, 3]
+
+    def test_readers_increase_throughput(self):
+        common = dict(threads=4, iters_per_thread=30, cs_cycles=300,
+                      think_cycles=1)
+        w = run_microbench(small_test_model(), "lcu", write_pct=100,
+                           **common)
+        r = run_microbench(small_test_model(), "lcu", write_pct=0,
+                           **common)
+        assert r.cycles_per_cs < w.cycles_per_cs
+
+
+class TestStmBench:
+    def test_basic_run(self):
+        r = run_stm_bench(
+            small_test_model(), "lcu", "rb", threads=2,
+            initial_size=32, txns_per_thread=8,
+        )
+        assert r.txns == 16
+        assert r.txn_cycles > 0
+        assert r.commit_cycles > 0
+
+    def test_structure_validation(self):
+        with pytest.raises(ValueError):
+            run_stm_bench(small_test_model(), "lcu", "nope")
+
+    @pytest.mark.parametrize("structure", ["rb", "skip", "hash"])
+    def test_all_structures_run(self, structure):
+        r = run_stm_bench(
+            small_test_model(), "sw-only", structure, threads=2,
+            initial_size=32, txns_per_thread=5,
+        )
+        assert r.txns == 10
+
+
+class TestTables:
+    def test_figure1_contains_all_registered(self):
+        rows = figure1_rows()
+        names = [r[0] for r in rows[1:]]
+        for expected in ["tas", "mcs", "mrsw", "ssb", "lcu"]:
+            assert expected in names
+
+    def test_figure1_lcu_has_full_feature_set(self):
+        table = figure1_table()
+        lcu = next(l for l in table.splitlines() if l.startswith("lcu"))
+        assert "HW" in lcu and lcu.count("yes") == 5
+
+    def test_figure8_renders(self):
+        out = figure8_table()
+        assert "Model A" in out and "Model B" in out

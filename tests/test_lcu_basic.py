@@ -1,0 +1,205 @@
+"""LCU/LRT protocol tests: ISA primitives, entry lifecycle, uncontended
+locking (paper Section III-A, Figure 4a)."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from repro.lcu.entry import ACQ, ISSUED, RCV, REL
+from repro.lcu.lcu import ProtocolError
+from tests.conftest import drain_and_check
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+def run_until(m, cond, limit=100_000):
+    m.sim.run(until=m.sim.now + limit, stop_when=cond)
+    assert cond(), "condition never became true"
+
+
+class TestIsaPrimitives:
+    def test_first_acq_issues_and_returns_false(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        assert lcu.instr_acquire(tid=1, addr=addr, write=True) is False
+        e = lcu.entry(1, addr)
+        assert e is not None and e.status == ISSUED
+
+    def test_grant_then_acquire_uncontended_removes_entry(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        lcu.instr_acquire(1, addr, True)
+        run_until(m, lambda: lcu.poll_ready(1, addr))
+        e = lcu.entry(1, addr)
+        assert e.status == RCV and e.head
+        assert lcu.instr_acquire(1, addr, True) is True
+        # uncontended: entry removed to leave room (paper III-A)
+        assert lcu.entry(1, addr) is None
+        # but the LRT still records the lock as taken
+        lrt = m.lrts[m.mem.home_of(addr)]
+        assert lrt.entry(addr) is not None
+
+    def test_release_reallocates_and_clears(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        lcu.instr_acquire(1, addr, True)
+        run_until(m, lambda: lcu.poll_ready(1, addr))
+        lcu.instr_acquire(1, addr, True)
+        assert lcu.instr_release(1, addr, True) is True
+        e = lcu.entry(1, addr)
+        assert e is not None and e.status == REL
+        drain_and_check(m)
+
+    def test_release_of_never_requested_lock_is_loud(self, m):
+        """Releasing a lock that was never requested is a program bug and
+        must surface as a protocol error at the LRT."""
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        lcu.instr_release(1, addr, True)
+        with pytest.raises(ProtocolError):
+            m.sim.run()
+
+    def test_mode_mismatch_acquire_returns_false(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        lcu.instr_acquire(1, addr, True)
+        assert lcu.instr_acquire(1, addr, False) is False
+
+    def test_two_threads_same_core_different_entries(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        lcu.instr_acquire(1, addr, True)
+        lcu.instr_acquire(2, addr, True)
+        assert lcu.entry(1, addr) is not None
+        assert lcu.entry(2, addr) is not None
+        assert lcu.entries_in_use == 2
+
+    def test_enqueue_prefetch_allocates(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        assert lcu.instr_enqueue(1, addr, True) is True
+        assert lcu.entry(1, addr) is not None
+        # idempotent
+        assert lcu.instr_enqueue(1, addr, True) is True
+        assert lcu.entries_in_use == 1
+
+
+class TestUncontendedCycle:
+    def test_lock_unlock_via_api(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        done = []
+
+        def prog(thread):
+            for _ in range(5):
+                yield from api.lock(addr, True)
+                yield ops.Compute(10)
+                yield from api.unlock(addr, True)
+            done.append(True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert done
+        drain_and_check(m)
+
+    def test_lrt_entry_lifecycle(self, m):
+        """LRT allocates on request, frees once the lock is released."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        lrt = m.lrts[m.mem.home_of(addr)]
+        observed = []
+
+        def prog(thread):
+            yield from api.lock(addr, True)
+            observed.append(lrt.entry(addr) is not None)
+            yield from api.unlock(addr, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        m.drain()
+        assert observed == [True]
+        assert lrt.entry(addr) is None
+
+    def test_many_locks_at_once(self, m):
+        os_ = OS(m)
+        addrs = [m.alloc.alloc_line() for _ in range(3)]
+
+        def prog(thread):
+            for a in addrs:
+                yield from api.lock(a, True)
+            yield ops.Compute(100)
+            for a in reversed(addrs):
+                yield from api.unlock(a, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        drain_and_check(m)
+
+    def test_word_granularity(self, m):
+        """Two locks in the same cache line are independent locks."""
+        os_ = OS(m)
+        base = m.alloc.alloc_line()
+        a1, a2 = base, base + 8
+        order = []
+
+        def p1(thread):
+            yield from api.lock(a1, True)
+            order.append("p1-has-a1")
+            yield ops.Compute(2_000)
+            yield from api.unlock(a1, True)
+
+        def p2(thread):
+            yield ops.Compute(200)  # ensure p1 goes first
+            yield from api.lock(a2, True)
+            order.append("p2-has-a2")
+            yield from api.unlock(a2, True)
+
+        os_.spawn(p1)
+        os_.spawn(p2)
+        os_.run_all()
+        # p2 must get a2 while p1 still holds a1
+        assert order == ["p1-has-a1", "p2-has-a2"]
+        drain_and_check(m)
+
+
+class TestGrantTimer:
+    def test_unclaimed_grant_returns_to_lrt(self, m):
+        """A grant that no thread collects (thread vanished) must be
+        released by the timer so the lock does not wedge."""
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        lcu.instr_acquire(1, addr, True)   # request, then never collect
+        run_until(m, lambda: lcu.poll_ready(1, addr))
+        # wait out the grant timeout plus protocol slack
+        m.sim.run(until=m.sim.now + m.config.lcu_grant_timeout + 10_000)
+        assert lcu.entry(1, addr) is None
+        lrt = m.lrts[m.mem.home_of(addr)]
+        assert lrt.entry(addr) is None  # lock is free again
+        assert lcu.stats["timeouts"] == 1
+
+    def test_unclaimed_grant_forwards_to_waiter(self, m):
+        """With a queue, the timer forwards the grant to the next node
+        instead of releasing (paper Figure 7)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        lcu0 = m.lcus[0]
+        got = []
+
+        # tid 99's request from LCU0 goes first and is never collected.
+        lcu0.instr_acquire(99, addr, True)
+
+        def prog(thread):
+            yield ops.Compute(50)  # request strictly after tid 99
+            yield from api.lock(addr, True)
+            got.append(m.sim.now)
+            yield from api.unlock(addr, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert got, "waiter never got the abandoned grant"
+        assert got[0] >= m.config.lcu_grant_timeout
+        drain_and_check(m)

@@ -1,0 +1,242 @@
+"""Edge-case protocol tests driven at the message/ISA level."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from repro.lcu import messages as msg
+from repro.lcu.entry import REL, WAIT
+from tests.conftest import RWTracker, drain_and_check
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+def run_until(m, cond, limit=100_000):
+    m.sim.run(until=m.sim.now + limit, stop_when=cond)
+    assert cond(), "condition never became true"
+
+
+class TestFwdNack:
+    def test_full_lcu_nacks_and_lrt_retries(self):
+        """An uncontended owner whose LCU is full cannot re-materialise
+        its entry; the forward must be retried until room appears."""
+        mm = Machine(small_test_model(lcu_ordinary_entries=1))
+        os_ = OS(mm)
+        hot = mm.alloc.alloc_line()
+        other = mm.alloc.alloc_line()
+        got = []
+
+        def owner(thread):
+            # acquire hot uncontended (entry removed), then stuff the
+            # only ordinary entry with a queue node for another lock
+            yield from api.lock(hot, True)
+            yield ops.LcuAcq(other, True)   # ISSUED entry occupies slot
+            yield ops.Compute(4_000)
+            yield from api.unlock(hot, True)
+
+        def requester(thread):
+            yield ops.Compute(500)
+            yield from api.lock(hot, True)  # forces FwdRequest to owner
+            got.append(m_now())
+            yield from api.unlock(hot, True)
+
+        m_now = lambda: mm.sim.now  # noqa: E731
+        os_.spawn(owner)
+        os_.spawn(requester)
+        os_.run_all(max_cycles=100_000_000)
+        assert got
+        assert mm.lcus[0].stats["fwd_nacks"] >= 1
+        mm.drain()
+
+    def test_nack_preserves_queue_order_eventually(self):
+        mm = Machine(small_test_model(lcu_ordinary_entries=1))
+        os_ = OS(mm)
+        hot = mm.alloc.alloc_line()
+        other = mm.alloc.alloc_line()
+        tracker = RWTracker()
+
+        def owner(thread):
+            yield from api.lock(hot, True)
+            yield ops.LcuAcq(other, True)
+            tracker.enter(True)
+            yield ops.Compute(3_000)
+            tracker.exit(True)
+            yield from api.unlock(hot, True)
+
+        def requester(thread):
+            yield ops.Compute(300)
+            yield from api.lock(hot, True)
+            tracker.enter(True)
+            yield ops.Compute(50)
+            tracker.exit(True)
+            yield from api.unlock(hot, True)
+
+        os_.spawn(owner)
+        os_.spawn(requester)
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 2
+
+
+class TestEntrySignals:
+    def test_signal_fires_on_grant(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        fired = []
+        lcu.entry_signal(1, addr).wait(lambda _: fired.append(m.sim.now))
+        lcu.instr_acquire(1, addr, True)
+        run_until(m, lambda: bool(fired))
+
+    def test_poll_ready_transitions(self, m):
+        lcu = m.lcus[0]
+        addr = m.alloc.alloc_line()
+        assert lcu.poll_ready(1, addr)        # no entry: re-issue useful
+        lcu.instr_acquire(1, addr, True)
+        assert not lcu.poll_ready(1, addr)    # ISSUED: nothing to do yet
+        run_until(m, lambda: lcu.poll_ready(1, addr))  # RCV
+        assert lcu.instr_acquire(1, addr, True)
+
+
+class TestLrtInternals:
+    def test_release_retry_carries_generation(self, m):
+        """The ReleaseRetry path must leave the REL entry able to grant
+        with a generation the LRT will accept."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        order = []
+
+        def a(thread):
+            for i in range(3):
+                yield from api.lock(addr, True)
+                order.append(("a", i))
+                yield ops.Compute(10)   # release almost immediately
+                yield from api.unlock(addr, True)
+                yield ops.Compute(5)
+
+        def b(thread):
+            for i in range(3):
+                yield ops.Compute(12)
+                yield from api.lock(addr, True)
+                order.append(("b", i))
+                yield from api.unlock(addr, True)
+
+        os_.spawn(a)
+        os_.spawn(b)
+        os_.run_all(max_cycles=50_000_000)
+        assert len(order) == 6
+        drain_and_check(m)
+
+    def test_lrt_entry_removed_only_when_fully_free(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        lrt = m.lrts[m.mem.home_of(addr)]
+        seen = []
+
+        def r1(thread):
+            yield from api.lock(addr, False)
+            yield ops.Compute(2_000)
+            yield from api.unlock(addr, False)
+            yield ops.Compute(2_000)
+            seen.append(lrt.entry(addr) is None)
+
+        def r2(thread):
+            yield ops.Compute(100)
+            yield from api.lock(addr, False)
+            yield ops.Compute(500)
+            yield from api.unlock(addr, False)
+
+        os_.spawn(r1)
+        os_.spawn(r2)
+        os_.run_all()
+        m.drain()
+        assert seen == [True]
+        drain_and_check(m)
+
+    def test_writers_waiting_counter_balanced(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def prog(thread):
+            for _ in range(6):
+                yield from api.lock(addr, True)
+                yield ops.Compute(40)
+                yield from api.unlock(addr, True)
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=50_000_000)
+        m.drain()
+        # all queues drained: no entry should remain at all
+        drain_and_check(m)
+
+
+class TestStaleHeadNotify:
+    def test_rapid_consecutive_transfers(self, m):
+        """Chains of instant transfers stress out-of-order HeadNotify
+        processing (the transfer_cnt/generation machinery)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        count = [0]
+
+        def prog(thread):
+            for _ in range(20):
+                yield from api.lock(addr, True)
+                count[0] += 1          # zero-length critical section
+                yield from api.unlock(addr, True)
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=100_000_000)
+        assert count[0] == 80
+        drain_and_check(m)
+
+    def test_stale_notify_stat_possible(self, m):
+        """With many instant transfers the stale-notify path may trigger;
+        either way the final state must be clean (previous test) and the
+        stat must be consistent."""
+        lrt_stats = sum(l.stats["stale_notifies"] for l in m.lrts)
+        assert lrt_stats == 0  # fresh machine
+
+
+class TestReadWriteAlternation:
+    def test_alternating_modes_single_thread(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def prog(thread):
+            for i in range(10):
+                write = i % 2 == 0
+                yield from api.lock(addr, write)
+                yield ops.Compute(20)
+                yield from api.unlock(addr, write)
+
+        os_.spawn(prog)
+        os_.run_all()
+        drain_and_check(m)
+
+    def test_mode_switch_under_contention(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+
+        def prog_factory(i):
+            def prog(thread):
+                for k in range(12):
+                    write = (i + k) % 2 == 0
+                    yield from api.lock(addr, write)
+                    tracker.enter(write)
+                    yield ops.Compute(35)
+                    tracker.exit(write)
+                    yield from api.unlock(addr, write)
+            return prog
+
+        for i in range(4):
+            os_.spawn(prog_factory(i))
+        os_.run_all(max_cycles=50_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 48
+        drain_and_check(m)

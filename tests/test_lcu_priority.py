@@ -1,0 +1,170 @@
+"""Real-time priority requests (paper future work, Section V)."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from repro.sim.stats import Accumulator
+from tests.conftest import RWTracker, drain_and_check
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+def churn_vs_priority(m, priority: bool, churners=3, rounds=12):
+    """Measure the acquire latency of a (priority?) thread competing
+    against continuously-churning ordinary threads."""
+    os_ = OS(m)
+    addr = m.alloc.alloc_line()
+    lat = Accumulator()
+    stop = []
+
+    def churner(thread):
+        while not stop:
+            yield from api.lock(addr, True)
+            yield ops.Compute(200)
+            yield from api.unlock(addr, True)
+            yield ops.Compute(20)
+
+    def timed(thread):
+        for _ in range(rounds):
+            t0 = m.sim.now
+            yield from api.lock(addr, True, priority=priority)
+            lat.add(m.sim.now - t0)
+            yield ops.Compute(50)
+            yield from api.unlock(addr, True)
+            yield ops.Compute(400)
+        stop.append(True)
+
+    for _ in range(churners):
+        os_.spawn(churner)
+    os_.spawn(timed)
+    os_.run_all(max_cycles=500_000_000)
+    return lat.mean
+
+
+class TestPriority:
+    def test_priority_cuts_wait_under_contention(self, m):
+        normal = churn_vs_priority(Machine(small_test_model()), False)
+        prio = churn_vs_priority(Machine(small_test_model()), True)
+        assert prio < 0.8 * normal, (prio, normal)
+
+    def test_priority_respects_mutual_exclusion(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+
+        def worker(prio):
+            def prog(thread):
+                for _ in range(15):
+                    yield from api.lock(addr, True, priority=prio)
+                    tracker.enter(True)
+                    yield ops.Compute(40)
+                    tracker.exit(True)
+                    yield from api.unlock(addr, True)
+            return prog
+
+        os_.spawn(worker(False))
+        os_.spawn(worker(False))
+        os_.spawn(worker(True))
+        os_.spawn(worker(True))
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 60
+        drain_and_check(m)
+
+    def test_held_back_ordinaries_eventually_served(self, m):
+        """Ordinary requestors refused during a priority window must
+        still complete (no starvation of the non-priority class)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        done = []
+
+        def prio_burst(thread):
+            for _ in range(5):
+                yield from api.lock(addr, True, priority=True)
+                yield ops.Compute(300)
+                yield from api.unlock(addr, True)
+                yield ops.Compute(50)
+
+        def ordinary(thread):
+            yield ops.Compute(100)
+            for _ in range(5):
+                yield from api.lock(addr, True)
+                yield ops.Compute(50)
+                yield from api.unlock(addr, True)
+            done.append(True)
+
+        os_.spawn(prio_burst)
+        os_.spawn(ordinary)
+        os_.spawn(ordinary)
+        os_.run_all(max_cycles=100_000_000)
+        assert len(done) == 2
+        m.drain()
+        drain_and_check(m)
+
+    def test_abandoned_priority_expires(self):
+        """A priority trylock that gives up must not freeze ordinary
+        requestors forever (the registration times out)."""
+        mm = Machine(small_test_model(lrt_reservation_timeout=2_000))
+        os_ = OS(mm)
+        addr = mm.alloc.alloc_line()
+        done = []
+
+        def holder(thread):
+            yield from api.lock(addr, True)
+            yield ops.Compute(6_000)
+            yield from api.unlock(addr, True)
+
+        def prio_trier(thread):
+            yield ops.Compute(100)
+            ok = yield ops.LcuAcq(addr, True, True)
+            assert not ok  # abandons right away
+
+        def late_ordinary(thread):
+            yield ops.Compute(8_000)
+            yield from api.lock(addr, True)
+            done.append(True)
+            yield from api.unlock(addr, True)
+
+        os_.spawn(holder)
+        os_.spawn(prio_trier)
+        os_.spawn(late_ordinary)
+        os_.run_all(max_cycles=100_000_000)
+        assert done
+        mm.drain()
+
+    def test_priority_reader_window_expires(self, m):
+        """Priority readers can release silently (RD_REL) with no
+        LRT-visible event; their membership must expire rather than wedge
+        the lock."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        done = []
+
+        def head_reader(thread):
+            yield from api.lock(addr, False)
+            yield ops.Compute(4_000)
+            yield from api.unlock(addr, False)
+
+        def prio_reader(thread):
+            yield ops.Compute(200)
+            yield from api.lock(addr, False, priority=True)
+            yield ops.Compute(100)
+            yield from api.unlock(addr, False)  # silent RD_REL
+
+        def late_writer(thread):
+            yield ops.Compute(500)
+            yield from api.lock(addr, True)
+            done.append(True)
+            yield from api.unlock(addr, True)
+
+        os_.spawn(head_reader)
+        os_.spawn(prio_reader)
+        os_.spawn(late_writer)
+        os_.run_all(max_cycles=100_000_000)
+        assert done
+        m.drain()

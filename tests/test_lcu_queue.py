@@ -1,0 +1,189 @@
+"""LCU queue construction, direct transfer and race tests (paper III-A,
+Figures 4b and 5)."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from tests.conftest import drain_and_check
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestQueueTransfers:
+    def test_fifo_order_under_contention(self, m):
+        """Write-lock handoffs follow request order (fairness)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        order = []
+
+        def prog_factory(i):
+            def prog(thread):
+                yield ops.Compute(1 + i * 120)  # stagger the requests
+                yield from api.lock(addr, True)
+                order.append(i)
+                yield ops.Compute(600)
+                yield from api.unlock(addr, True)
+            return prog
+
+        for i in range(4):
+            os_.spawn(prog_factory(i))
+        os_.run_all()
+        assert order == [0, 1, 2, 3]
+        drain_and_check(m)
+
+    def test_transfer_is_direct(self, m):
+        """A queued handoff must not add LRT round-trip latency to the
+        receiving thread's acquire (the notification is off the critical
+        path)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        lrts = m.lrts
+        t_handoff = {}
+
+        def holder(thread):
+            yield from api.lock(addr, True)
+            yield ops.Compute(3_000)  # long enough for waiter to enqueue
+            t_handoff["release"] = m.sim.now
+            yield from api.unlock(addr, True)
+
+        def waiter(thread):
+            yield ops.Compute(100)
+            yield from api.lock(addr, True)
+            t_handoff["acquired"] = m.sim.now
+            yield from api.unlock(addr, True)
+
+        os_.spawn(holder)
+        os_.spawn(waiter)
+        os_.run_all()
+        handoff = t_handoff["acquired"] - t_handoff["release"]
+        # direct LCU->LCU: one hop + LCU latency + spin wake, far less
+        # than two hops (which an LRT-mediated transfer would need)
+        one_hop = m.config.intra_chip_hop
+        assert handoff < 2 * one_hop + 20, handoff
+        drain_and_check(m)
+
+    def test_transfer_counts(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def prog(thread):
+            for _ in range(10):
+                yield from api.lock(addr, True)
+                yield ops.Compute(30)
+                yield from api.unlock(addr, True)
+
+        for _ in range(3):
+            os_.spawn(prog)
+        os_.run_all()
+        total_transfers = sum(l.stats["transfers"] for l in m.lcus)
+        # 30 acquisitions, first is a fresh grant; most others transfer
+        assert total_transfers >= 15
+        drain_and_check(m)
+
+    def test_head_pointer_tracks_owner(self, m):
+        """After a handoff settles, the LRT's head points at the holder."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        lrt = m.lrts[m.mem.home_of(addr)]
+        checks = []
+
+        def holder(thread):
+            yield from api.lock(addr, True)
+            yield ops.Compute(3_000)
+            yield from api.unlock(addr, True)
+
+        def waiter(thread):
+            yield ops.Compute(100)
+            yield from api.lock(addr, True)
+            yield ops.Compute(3_000)  # let the HeadNotify settle
+            e = lrt.entry(addr)
+            checks.append((e.head.tid, thread.tid))
+            yield from api.unlock(addr, True)
+
+        os_.spawn(holder)
+        os_.spawn(waiter)
+        os_.run_all()
+        assert checks and checks[0][0] == checks[0][1]
+        drain_and_check(m)
+
+
+class TestReleaseEnqueueRace:
+    def test_release_races_with_forwarded_request(self, m):
+        """Holder releases exactly while a new request is being forwarded
+        to it; the REL entry must hand the lock over (paper III-A)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        got = []
+
+        def holder(thread):
+            yield from api.lock(addr, True)
+            yield ops.Compute(40)  # release quickly
+            yield from api.unlock(addr, True)
+
+        def chaser(thread):
+            # issue the request so its FwdRequest is in flight during the
+            # holder's release window
+            yield ops.Compute(35)
+            yield from api.lock(addr, True)
+            got.append(True)
+            yield from api.unlock(addr, True)
+
+        os_.spawn(holder)
+        os_.spawn(chaser)
+        os_.run_all(max_cycles=10_000_000)
+        assert got
+        drain_and_check(m)
+
+    def test_release_race_sweep(self, m):
+        """Sweep the race window cycle by cycle — every interleaving of
+        RELEASE vs forwarded REQUEST must resolve."""
+        for offset in range(0, 60, 7):
+            mm = Machine(small_test_model())
+            os_ = OS(mm)
+            addr = mm.alloc.alloc_line()
+            got = []
+
+            def holder(thread):
+                yield from api.lock(addr, True)
+                yield ops.Compute(10)
+                yield from api.unlock(addr, True)
+
+            def chaser(thread, offset=offset):
+                yield ops.Compute(1 + offset)
+                yield from api.lock(addr, True)
+                got.append(True)
+                yield from api.unlock(addr, True)
+
+            os_.spawn(holder)
+            os_.spawn(chaser)
+            os_.run_all(max_cycles=10_000_000)
+            assert got, f"offset {offset} lost the lock"
+            drain_and_check(mm)
+
+
+class TestManyLocksManyThreads:
+    def test_interleaved_locks_all_complete(self, m):
+        os_ = OS(m)
+        addrs = [m.alloc.alloc_line() for _ in range(4)]
+        done = [0]
+
+        def prog_factory(i):
+            def prog(thread):
+                for k in range(12):
+                    a = addrs[(i + k) % len(addrs)]
+                    yield from api.lock(a, True)
+                    yield ops.Compute(15)
+                    yield from api.unlock(a, True)
+                done[0] += 1
+            return prog
+
+        for i in range(6):
+            os_.spawn(prog_factory(i))
+        os_.run_all(max_cycles=100_000_000)
+        assert done[0] == 6
+        drain_and_check(m)

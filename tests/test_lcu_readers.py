@@ -1,0 +1,293 @@
+"""Read-locking protocol tests: concurrent reader runs, the Head token,
+RD_REL silent release and re-acquisition (paper Section III-B, Fig. 6)."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from repro.lcu.entry import ACQ, RD_REL
+from tests.conftest import RWTracker, drain_and_check
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestConcurrentReaders:
+    def test_readers_share_grant(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+
+        def reader(thread):
+            yield from api.lock(addr, False)
+            tracker.enter(False)
+            yield ops.Compute(1_000)
+            tracker.exit(False)
+            yield from api.unlock(addr, False)
+
+        for _ in range(4):
+            os_.spawn(reader)
+        os_.run_all()
+        tracker.assert_clean()
+        assert tracker.max_readers == 4
+        drain_and_check(m)
+
+    def test_late_reader_joins_active_run(self, m):
+        """A read request forwarded to a tail that holds in read mode gets
+        a share grant immediately, without queue latency."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+
+        def early(thread):
+            yield from api.lock(addr, False)
+            tracker.enter(False)
+            yield ops.Compute(4_000)
+            tracker.exit(False)
+            yield from api.unlock(addr, False)
+
+        def late(thread):
+            yield ops.Compute(800)
+            yield from api.lock(addr, False)
+            tracker.enter(False)
+            yield ops.Compute(100)
+            tracker.exit(False)
+            yield from api.unlock(addr, False)
+
+        os_.spawn(early)
+        os_.spawn(late)
+        os_.run_all()
+        tracker.assert_clean()
+        assert tracker.max_readers == 2
+        drain_and_check(m)
+
+    def test_any_order_release(self, m):
+        """Readers may release in any order (the RD_REL machinery)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+        hold = [200, 2_000, 900, 50]  # wildly different hold times
+
+        def reader_factory(i):
+            def reader(thread):
+                yield from api.lock(addr, False)
+                tracker.enter(False)
+                yield ops.Compute(hold[i])
+                tracker.exit(False)
+                yield from api.unlock(addr, False)
+            return reader
+
+        for i in range(4):
+            os_.spawn(reader_factory(i))
+        os_.run_all()
+        tracker.assert_clean()
+        drain_and_check(m)
+
+
+class TestHeadTokenAndWriters:
+    def test_writer_waits_for_all_readers(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+        times = {}
+
+        def reader_factory(i):
+            def reader(thread):
+                yield from api.lock(addr, False)
+                tracker.enter(False)
+                yield ops.Compute(1_000 + 500 * i)
+                tracker.exit(False)
+                times[f"r{i}_out"] = m.sim.now
+                yield from api.unlock(addr, False)
+            return reader
+
+        def writer(thread):
+            yield ops.Compute(300)  # enqueue behind the readers
+            yield from api.lock(addr, True)
+            tracker.enter(True)
+            times["w_in"] = m.sim.now
+            yield ops.Compute(100)
+            tracker.exit(True)
+            yield from api.unlock(addr, True)
+
+        for i in range(3):
+            os_.spawn(reader_factory(i))
+        os_.spawn(writer)
+        os_.run_all()
+        tracker.assert_clean()
+        assert times["w_in"] >= max(times[f"r{i}_out"] for i in range(3))
+        drain_and_check(m)
+
+    def test_reader_after_writer_waits(self, m):
+        """FIFO: a reader that requests after a queued writer must not
+        jump it (fairness — unlike reader-preference locks)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        order = []
+
+        def first_reader(thread):
+            yield from api.lock(addr, False)
+            order.append("r1")
+            yield ops.Compute(2_500)
+            yield from api.unlock(addr, False)
+
+        def writer(thread):
+            yield ops.Compute(200)
+            yield from api.lock(addr, True)
+            order.append("w")
+            yield ops.Compute(500)
+            yield from api.unlock(addr, True)
+
+        def second_reader(thread):
+            yield ops.Compute(600)  # requests while writer is queued
+            yield from api.lock(addr, False)
+            order.append("r2")
+            yield from api.unlock(addr, False)
+
+        os_.spawn(first_reader)
+        os_.spawn(writer)
+        os_.spawn(second_reader)
+        os_.run_all()
+        assert order == ["r1", "w", "r2"]
+        drain_and_check(m)
+
+
+class TestLrtShareGrantFastPath:
+    def test_reader_join_does_not_wait_for_ripple(self, m):
+        """A reader joining a writer-free read phase is granted directly
+        by the LRT instead of waiting for the share grant to ripple down
+        the chain hop by hop (see DESIGN.md)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        join_lat = []
+
+        def early_reader(thread):
+            yield from api.lock(addr, False)
+            yield ops.Compute(6_000)
+            yield from api.unlock(addr, False)
+
+        def late_reader_factory(i):
+            def late_reader(thread):
+                yield ops.Compute(500 + i * 37)
+                t0 = m.sim.now
+                yield from api.lock(addr, False)
+                join_lat.append(m.sim.now - t0)
+                yield ops.Compute(3_000)
+                yield from api.unlock(addr, False)
+            return late_reader
+
+        os_.spawn(early_reader)
+        for i in range(3):
+            os_.spawn(late_reader_factory(i))
+        os_.run_all()
+        # every join should cost about one LRT round trip, not a chain
+        # walk: bound it by ~3 hops worth of latency
+        bound = 6 * m.config.intra_chip_hop + 12 * m.config.lrt_latency
+        assert all(l < bound for l in join_lat), (join_lat, bound)
+        drain_and_check(m)
+
+    def test_no_share_grant_when_writer_waits(self, m):
+        """The fast path must not leak read grants past a queued writer
+        (fairness would break): a reader arriving after a writer waits."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        order = []
+
+        def head_reader(thread):
+            yield from api.lock(addr, False)
+            order.append("r1")
+            yield ops.Compute(3_000)
+            yield from api.unlock(addr, False)
+
+        def writer(thread):
+            yield ops.Compute(300)
+            yield from api.lock(addr, True)
+            order.append("w")
+            yield from api.unlock(addr, True)
+
+        def late_reader(thread):
+            yield ops.Compute(700)
+            yield from api.lock(addr, False)
+            order.append("r2")
+            yield from api.unlock(addr, False)
+
+        os_.spawn(head_reader)
+        os_.spawn(writer)
+        os_.spawn(late_reader)
+        os_.run_all()
+        assert order == ["r1", "w", "r2"]
+        drain_and_check(m)
+
+
+class TestRdRelReacquire:
+    def test_intermediate_reader_reacquires_locally(self, m):
+        """An RD_REL entry can be re-taken by its thread with zero remote
+        messages (paper III-B)."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        reacquire_msgs = []
+
+        def long_reader(thread):
+            # Head reader: holds long so the other entry stays mid-queue.
+            yield from api.lock(addr, False)
+            yield ops.Compute(6_000)
+            yield from api.unlock(addr, False)
+
+        def cycler(thread):
+            yield ops.Compute(200)  # enqueue second (intermediate node)
+            yield from api.lock(addr, False)
+            yield ops.Compute(100)
+            yield from api.unlock(addr, False)
+            # entry should now be RD_REL; re-acquire must be local
+            e = m.lcus[thread.core].entry(thread.tid, addr)
+            assert e is not None and e.status == RD_REL
+            before = m.net.messages_sent
+            yield from api.lock(addr, False)
+            assert m.net.messages_sent == before, "re-acquire went remote"
+            e = m.lcus[thread.core].entry(thread.tid, addr)
+            assert e.status == ACQ
+            yield from api.unlock(addr, False)
+
+        os_.spawn(long_reader)
+        os_.spawn(cycler)
+        os_.run_all()
+        drain_and_check(m)
+
+    def test_token_bypasses_released_intermediates(self, m):
+        """Head token must skip RD_REL entries and reach a waiting
+        writer."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+        events = []
+
+        def reader_factory(hold, label):
+            def reader(thread):
+                yield from api.lock(addr, False)
+                tracker.enter(False)
+                yield ops.Compute(hold)
+                tracker.exit(False)
+                events.append(label)
+                yield from api.unlock(addr, False)
+            return reader
+
+        def writer(thread):
+            yield ops.Compute(400)
+            yield from api.lock(addr, True)
+            tracker.enter(True)
+            events.append("w")
+            tracker.exit(True)
+            yield from api.unlock(addr, True)
+
+        # head holds longest; intermediates release early (become RD_REL)
+        os_.spawn(reader_factory(5_000, "head"))
+        os_.spawn(reader_factory(100, "mid1"))
+        os_.spawn(reader_factory(150, "mid2"))
+        os_.spawn(writer)
+        os_.run_all()
+        tracker.assert_clean()
+        assert events.index("w") == 3  # after all three readers
+        drain_and_check(m)

@@ -1,0 +1,205 @@
+"""Trylock semantics and the Free Lock Table extension."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from tests.conftest import RWTracker, drain_and_check
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestTrylock:
+    def test_trylock_free_lock_succeeds_fast(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        out = []
+
+        def prog(thread):
+            ok = yield from api.trylock(addr, True, retries=8)
+            out.append((ok, m.sim.now))
+            if ok:
+                yield from api.unlock(addr, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert out[0][0] is True
+        drain_and_check(m)
+
+    def test_trylock_read_mode(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        results = []
+
+        def holder(thread):
+            yield from api.lock(addr, False)
+            yield ops.Compute(5_000)
+            yield from api.unlock(addr, False)
+
+        def trier(thread):
+            yield ops.Compute(500)
+            ok = yield from api.trylock(addr, False, retries=8)
+            results.append(ok)
+            if ok:
+                yield from api.unlock(addr, False)
+
+        os_.spawn(holder)
+        os_.spawn(trier)
+        os_.run_all()
+        # read trylock on a read-held lock succeeds (sharing)
+        assert results == [True]
+        drain_and_check(m)
+
+    def test_abandoned_trylock_entry_self_heals(self, m):
+        """The queue node left by an expired trylock receives its grant
+        later and passes it on via the timer, leaving no residue."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        failed = []
+
+        def holder(thread):
+            yield from api.lock(addr, True)
+            yield ops.Compute(8_000)
+            yield from api.unlock(addr, True)
+
+        def trier(thread):
+            yield ops.Compute(200)
+            ok = yield from api.trylock(addr, True, retries=2)
+            failed.append(ok)
+            # walks away; does something else entirely
+            yield ops.Compute(50)
+
+        os_.spawn(holder)
+        os_.spawn(trier)
+        os_.run_all()
+        assert failed == [False]
+        m.drain()
+        drain_and_check(m)
+
+    def test_many_triers_one_winner_at_a_time(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        tracker = RWTracker()
+        wins = [0]
+
+        def trier(thread):
+            for _ in range(10):
+                ok = yield from api.trylock(addr, True, retries=4)
+                if ok:
+                    tracker.enter(True)
+                    yield ops.Compute(100)
+                    tracker.exit(True)
+                    wins[0] += 1
+                    yield from api.unlock(addr, True)
+                yield ops.Compute(50)
+
+        for _ in range(4):
+            os_.spawn(trier)
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert wins[0] > 0
+        m.drain()
+        drain_and_check(m)
+
+
+class TestFreeLockTable:
+    def test_biased_reacquire_is_message_free(self):
+        mm = Machine(small_test_model(flt_entries=4))
+        os_ = OS(mm)
+        addr = mm.alloc.alloc_line()
+        msg_delta = []
+
+        def prog(thread):
+            yield from api.lock(addr, True)
+            yield from api.unlock(addr, True)
+            yield ops.Compute(200)
+            before = mm.net.messages_sent
+            for _ in range(20):
+                yield from api.lock(addr, True)
+                yield ops.Compute(10)
+                yield from api.unlock(addr, True)
+            msg_delta.append(mm.net.messages_sent - before)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert msg_delta == [0]
+        lcu = mm.lcus[0]
+        assert lcu.stats.get("flt_hits", 0) == 20
+
+    def test_parked_lock_recoverable_by_remote_requestor(self):
+        mm = Machine(small_test_model(flt_entries=4))
+        addr = mm.alloc.alloc_line()
+        order = []
+
+        def owner(thread):
+            yield from api.lock(addr, True)
+            order.append("owner")
+            yield from api.unlock(addr, True)  # parks in FLT
+            yield ops.Compute(3_000)
+
+        def thief(thread):
+            yield ops.Compute(1_000)
+            yield from api.lock(addr, True)
+            order.append("thief")
+            yield from api.unlock(addr, True)
+
+        os_ = OS(mm)
+        os_.spawn(owner)
+        os_.spawn(thief)
+        os_.run_all(max_cycles=100_000_000)
+        assert order == ["owner", "thief"]
+
+    def test_flt_respects_capacity(self):
+        mm = Machine(small_test_model(flt_entries=2))
+        os_ = OS(mm)
+        addrs = [mm.alloc.alloc_line() for _ in range(4)]
+
+        def prog(thread):
+            for a in addrs:
+                yield from api.lock(a, True)
+                yield from api.unlock(a, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        mm.drain()
+        assert len(mm.lcus[0]._flt) <= 2
+
+    def test_flt_disabled_by_default(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def prog(thread):
+            yield from api.lock(addr, True)
+            yield from api.unlock(addr, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        m.drain()
+        assert not m.lcus[0]._flt
+        drain_and_check(m)
+
+    def test_flt_mutual_exclusion_under_contention(self):
+        """FLT parking/stealing must preserve exclusion."""
+        mm = Machine(small_test_model(flt_entries=4))
+        os_ = OS(mm)
+        addr = mm.alloc.alloc_line()
+        tracker = RWTracker()
+
+        def prog(thread):
+            for _ in range(25):
+                yield from api.lock(addr, True)
+                tracker.enter(True)
+                yield ops.Compute(30)
+                tracker.exit(True)
+                yield from api.unlock(addr, True)
+                yield ops.Compute(100)  # idle gaps invite parking
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 100

@@ -1,0 +1,90 @@
+"""Behavioural tests specific to the CLH and HBO baselines."""
+
+import pytest
+
+from repro import Machine, OS, model_b, small_test_model
+from repro.cpu import ops
+from repro.locks import get_algorithm
+from tests.conftest import RWTracker, cs_program
+
+
+class TestClh:
+    def test_fifo_order(self):
+        m = Machine(small_test_model())
+        algo = get_algorithm("clh")(m)
+        os_ = OS(m)
+        h = algo.make_lock()
+        order = []
+
+        def factory(i):
+            def prog(thread):
+                yield ops.Compute(1 + i * 150)
+                yield from algo.lock(thread, h, True)
+                order.append(i)
+                yield ops.Compute(400)
+                yield from algo.unlock(thread, h, True)
+            return prog
+
+        for i in range(4):
+            os_.spawn(factory(i))
+        os_.run_all()
+        assert order == [0, 1, 2, 3]
+
+    def test_node_recycling_many_rounds(self):
+        """The CLH adopt-predecessor discipline must survive many rounds
+        without corrupting the queue."""
+        m = Machine(small_test_model())
+        algo = get_algorithm("clh")(m)
+        os_ = OS(m)
+        h = algo.make_lock()
+        tracker = RWTracker()
+        for _ in range(4):
+            os_.spawn(cs_program(algo, h, tracker, iters=25))
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 100
+
+
+class TestHbo:
+    def test_less_cross_chip_traffic_than_tatas(self):
+        """HBO's long remote backoffs must cut inter-chip message traffic
+        per critical section versus TATAS under cross-chip contention
+        (its NUMA-awareness; see the module docstring for why full lock
+        capture does not emerge in this behavioral model)."""
+        def traffic_per_cs(lock_name):
+            cfg = model_b()
+            m = Machine(cfg)
+            algo = get_algorithm(lock_name)(m)
+            os_ = OS(m)
+            h = algo.make_lock()
+            count = [0]
+
+            def factory(i):
+                def prog(thread):
+                    while m.sim.now < 120_000:
+                        yield from algo.lock(thread, h, True)
+                        count[0] += 1
+                        yield ops.Compute(40)
+                        yield from algo.unlock(thread, h, True)
+                        yield ops.Compute(10)
+                return prog
+
+            # 16 threads fill cores 0-15 = chips 0 and 1
+            for i in range(16):
+                os_.spawn(factory(i))
+            os_.run_all(max_cycles=500_000_000)
+            return m.net.inter_chip_messages / max(1, count[0])
+
+        assert traffic_per_cs("hbo") < traffic_per_cs("tatas")
+
+    def test_hbo_exclusion_small_model(self):
+        m = Machine(small_test_model())
+        algo = get_algorithm("hbo")(m)
+        os_ = OS(m)
+        h = algo.make_lock()
+        tracker = RWTracker()
+        for _ in range(5):
+            os_.spawn(cs_program(algo, h, tracker, iters=12))
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 60

@@ -1,0 +1,191 @@
+"""Correctness tests for every mutual-exclusion-capable lock algorithm."""
+
+import random
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.locks import all_algorithms, get_algorithm
+from tests.conftest import RWTracker, cs_program
+
+MUTEX_LOCKS = [
+    "tas", "tatas", "ticket", "mcs", "clh", "tpmcs", "hbo", "mao", "mrsw", "snzi",
+    "pthread",
+    "lcu", "ssb",
+]
+TRYLOCK_LOCKS = [
+    n for n in MUTEX_LOCKS if all_algorithms()[n].trylock_support
+]
+FAIR_LOCKS = [n for n in MUTEX_LOCKS if all_algorithms()[n].fair]
+
+
+def build(lock_name, **cfg_overrides):
+    m = Machine(small_test_model(**cfg_overrides))
+    algo = get_algorithm(lock_name)(m)
+    return m, algo
+
+
+@pytest.mark.parametrize("lock_name", MUTEX_LOCKS)
+class TestMutualExclusion:
+    def test_exclusion_matched_cores(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        tracker = RWTracker()
+        h = algo.make_lock()
+        for _ in range(4):
+            os_.spawn(cs_program(algo, h, tracker, iters=15))
+        os_.run_all(max_cycles=500_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 4 * 15
+
+    def test_exclusion_oversubscribed(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m, quantum=2_000)
+        tracker = RWTracker()
+        h = algo.make_lock()
+        for _ in range(10):
+            os_.spawn(cs_program(algo, h, tracker, iters=10))
+        os_.run_all(max_cycles=500_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 100
+
+    def test_two_independent_locks(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        t1, t2 = RWTracker(), RWTracker()
+        h1, h2 = algo.make_lock(), algo.make_lock()
+        os_.spawn(cs_program(algo, h1, t1, iters=10))
+        os_.spawn(cs_program(algo, h1, t1, iters=10))
+        os_.spawn(cs_program(algo, h2, t2, iters=10))
+        os_.spawn(cs_program(algo, h2, t2, iters=10))
+        os_.run_all(max_cycles=500_000_000)
+        t1.assert_clean()
+        t2.assert_clean()
+
+    def test_handoff_advances_data(self, lock_name):
+        """Use the lock to protect a shared counter in simulated memory."""
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        h = algo.make_lock()
+        counter = m.alloc.alloc_line()
+
+        def prog(thread):
+            for _ in range(20):
+                yield from algo.lock(thread, h, True)
+                v = yield ops.Load(counter)
+                yield ops.Compute(5)
+                yield ops.Store(counter, v + 1)
+                yield from algo.unlock(thread, h, True)
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=500_000_000)
+        assert m.mem.peek(counter) == 80
+
+
+@pytest.mark.parametrize("lock_name", TRYLOCK_LOCKS)
+class TestTrylock:
+    def test_trylock_uncontended_succeeds(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        h = algo.make_lock()
+        results = []
+
+        def prog(thread):
+            ok = yield from algo.trylock(thread, h, True, retries=20)
+            results.append(ok)
+            if ok:
+                yield ops.Compute(10)
+                yield from algo.unlock(thread, h, True)
+
+        os_.spawn(prog)
+        os_.run_all(max_cycles=100_000_000)
+        assert results == [True]
+
+    def test_trylock_contended_can_fail(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        h = algo.make_lock()
+        results = []
+
+        def holder(thread):
+            yield from algo.lock(thread, h, True)
+            yield ops.Compute(200_000)  # hold a long time
+            yield from algo.unlock(thread, h, True)
+
+        def contender(thread):
+            yield ops.Compute(2_000)  # let the holder get it first
+            ok = yield from algo.trylock(thread, h, True, retries=2)
+            results.append(ok)
+            if ok:
+                yield from algo.unlock(thread, h, True)
+
+        os_.spawn(holder)
+        os_.spawn(contender)
+        os_.run_all(max_cycles=100_000_000)
+        assert results == [False]
+
+    def test_lock_usable_after_failed_trylock(self, lock_name):
+        """An abandoned trylock must not wedge the lock."""
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        h = algo.make_lock()
+        tracker = RWTracker()
+
+        def holder(thread):
+            yield from algo.lock(thread, h, True)
+            tracker.enter(True)
+            yield ops.Compute(50_000)
+            tracker.exit(True)
+            yield from algo.unlock(thread, h, True)
+
+        def try_then_lock(thread):
+            yield ops.Compute(1_000)
+            ok = yield from algo.trylock(thread, h, True, retries=2)
+            assert not ok
+            yield ops.Compute(500)
+            yield from algo.lock(thread, h, True)  # now block properly
+            tracker.enter(True)
+            yield ops.Compute(10)
+            tracker.exit(True)
+            yield from algo.unlock(thread, h, True)
+
+        os_.spawn(holder)
+        os_.spawn(try_then_lock)
+        os_.run_all(max_cycles=100_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 2
+
+
+@pytest.mark.parametrize("lock_name", FAIR_LOCKS)
+class TestFairness:
+    def test_roughly_fifo_service(self, lock_name):
+        """Fair locks: under symmetric load, acquisition counts should be
+        close to uniform."""
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        h = algo.make_lock()
+        counts = {}
+        deadline = 200_000
+
+        def prog(thread):
+            while m.sim.now < deadline:
+                yield from algo.lock(thread, h, True)
+                yield ops.Compute(30)
+                counts[thread.tid] = counts.get(thread.tid, 0) + 1
+                yield from algo.unlock(thread, h, True)
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=500_000_000)
+        vals = list(counts.values())
+        assert len(vals) == 4
+        assert min(vals) > 0.6 * max(vals), vals
+
+
+class TestUnknownAlgorithm:
+    def test_get_algorithm_raises_with_known_names(self):
+        with pytest.raises(KeyError) as exc:
+            get_algorithm("nope")
+        assert "mcs" in str(exc.value)

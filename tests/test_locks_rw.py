@@ -1,0 +1,112 @@
+"""Reader-writer semantics tests for the RW-capable algorithms."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.locks import all_algorithms, get_algorithm
+from tests.conftest import RWTracker, cs_program
+
+RW_LOCKS = [n for n, c in all_algorithms().items() if c.rw_support]
+
+
+def build(lock_name):
+    m = Machine(small_test_model())
+    algo = get_algorithm(lock_name)(m)
+    return m, algo
+
+
+@pytest.mark.parametrize("lock_name", RW_LOCKS)
+class TestReaderWriter:
+    def test_rw_exclusion_mixed(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        tracker = RWTracker()
+        h = algo.make_lock()
+        # threads alternate modes deterministically, staggered by tid
+        write_of = lambda thread, i: (i + thread.tid) % 3 == 0  # noqa: E731
+        for _ in range(4):
+            os_.spawn(cs_program(algo, h, tracker, iters=20, write_of=write_of))
+        os_.run_all(max_cycles=500_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 80
+
+    def test_readers_overlap(self, lock_name):
+        """Pure readers with long critical sections must run concurrently."""
+        m, algo = build(lock_name)
+        os_ = OS(m)
+        tracker = RWTracker()
+        h = algo.make_lock()
+        for _ in range(4):
+            os_.spawn(
+                cs_program(
+                    algo, h, tracker, iters=8,
+                    write_of=lambda t, i: False, cs_cycles=800,
+                )
+            )
+        os_.run_all(max_cycles=500_000_000)
+        tracker.assert_clean()
+        assert tracker.max_readers >= 2, (
+            f"{lock_name}: readers never overlapped"
+        )
+
+    def test_readers_faster_than_writers(self, lock_name):
+        """Total time for N all-reader CSs should beat N all-writer CSs."""
+        def run(write):
+            m, algo = build(lock_name)
+            os_ = OS(m)
+            tracker = RWTracker()
+            h = algo.make_lock()
+            for _ in range(4):
+                os_.spawn(
+                    cs_program(
+                        algo, h, tracker, iters=10,
+                        write_of=lambda t, i: write, cs_cycles=500,
+                    )
+                )
+            end = os_.run_all(max_cycles=500_000_000)
+            tracker.assert_clean()
+            return end
+
+        assert run(False) < run(True)
+
+    def test_oversubscribed_rw(self, lock_name):
+        m, algo = build(lock_name)
+        os_ = OS(m, quantum=2_500)
+        tracker = RWTracker()
+        h = algo.make_lock()
+        write_of = lambda thread, i: i % 4 == 0  # noqa: E731
+        for _ in range(9):
+            os_.spawn(cs_program(algo, h, tracker, iters=8, write_of=write_of))
+        os_.run_all(max_cycles=500_000_000)
+        tracker.assert_clean()
+        assert tracker.total == 72
+
+
+class TestWriterProgressLcu:
+    def test_lcu_writer_not_starved_by_reader_stream(self):
+        """With a continuous stream of readers, an LCU writer still gets
+        in (queue fairness) — unlike the SSB's reader preference."""
+        m, algo = build("lcu")
+        os_ = OS(m)
+        h = algo.make_lock()
+        writer_done = []
+        deadline = 300_000
+
+        def reader(thread):
+            while m.sim.now < deadline and not writer_done:
+                yield from algo.lock(thread, h, False)
+                yield ops.Compute(400)
+                yield from algo.unlock(thread, h, False)
+
+        def writer(thread):
+            yield ops.Compute(2_000)  # let readers flood first
+            yield from algo.lock(thread, h, True)
+            writer_done.append(m.sim.now)
+            yield from algo.unlock(thread, h, True)
+
+        for _ in range(3):
+            os_.spawn(reader)
+        os_.spawn(writer)
+        os_.run_all(max_cycles=500_000_000)
+        assert writer_done and writer_done[0] < deadline

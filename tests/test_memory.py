@@ -1,0 +1,158 @@
+"""Tests for the coherence/memory model."""
+
+import pytest
+
+from repro import Machine, small_test_model
+from repro.mem.memory import READ, RMW, WRITE, Allocator
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+def access(m, core, addr, kind, **kw):
+    """Synchronous wrapper: run the sim until the access completes."""
+    out = []
+    m.mem.access(core, addr, kind, out.append, **kw)
+    m.sim.run(stop_when=lambda: bool(out))
+    assert out, "access never completed"
+    return out[0]
+
+
+class TestAllocator:
+    def test_line_alignment(self):
+        a = Allocator(line_size=64)
+        x, y = a.alloc_line(), a.alloc_line()
+        assert x % 64 == 0 and y % 64 == 0
+        assert y - x == 64
+
+    def test_alloc_words_padded_to_lines(self):
+        a = Allocator(line_size=64)
+        x = a.alloc_words(3)
+        y = a.alloc_line()
+        assert y - x == 64  # 3 words round up to one line
+
+    def test_alloc_words_multi_line(self):
+        a = Allocator(line_size=64)
+        x = a.alloc_words(9)  # 72 bytes -> 2 lines
+        y = a.alloc_line()
+        assert y - x == 128
+
+
+class TestBasicAccess:
+    def test_read_default_zero(self, m):
+        addr = m.alloc.alloc_line()
+        assert access(m, 0, addr, READ) == 0
+
+    def test_write_then_read(self, m):
+        addr = m.alloc.alloc_line()
+        access(m, 0, addr, WRITE, value=42)
+        assert access(m, 0, addr, READ) == 42
+        assert m.mem.peek(addr) == 42
+
+    def test_rmw_returns_old(self, m):
+        addr = m.alloc.alloc_line()
+        access(m, 0, addr, WRITE, value=5)
+        old = access(m, 0, addr, RMW, rmw=lambda v: v + 1)
+        assert old == 5
+        assert m.mem.peek(addr) == 6
+
+    def test_hit_faster_than_miss(self, m):
+        addr = m.alloc.alloc_line()
+        t0 = m.sim.now
+        access(m, 0, addr, READ)
+        miss_time = m.sim.now - t0
+        t0 = m.sim.now
+        access(m, 0, addr, READ)
+        hit_time = m.sim.now - t0
+        assert hit_time < miss_time
+        assert hit_time == m.config.l1_latency
+
+    def test_first_touch_charges_memory(self, m):
+        a1 = m.alloc.alloc_line()
+        t0 = m.sim.now
+        access(m, 0, a1, READ)
+        cold = m.sim.now - t0
+        t0 = m.sim.now
+        access(m, 1, a1, READ)  # warm at directory, still a miss for core 1
+        warm = m.sim.now - t0
+        assert cold > warm
+
+
+class TestCoherence:
+    def test_write_invalidates_sharers(self, m):
+        addr = m.alloc.alloc_line()
+        access(m, 0, addr, READ)
+        access(m, 1, addr, READ)
+        assert m.mem.has_line(0, addr) and m.mem.has_line(1, addr)
+        access(m, 2, addr, WRITE, value=1)
+        assert not m.mem.has_line(0, addr)
+        assert not m.mem.has_line(1, addr)
+        assert m.mem.has_line(2, addr)
+
+    def test_read_downgrades_owner(self, m):
+        addr = m.alloc.alloc_line()
+        access(m, 0, addr, WRITE, value=7)
+        assert access(m, 1, addr, READ) == 7
+        # both should now share
+        assert m.mem.has_line(0, addr) and m.mem.has_line(1, addr)
+
+    def test_line_signal_fires_on_invalidation(self, m):
+        addr = m.alloc.alloc_line()
+        access(m, 0, addr, READ)
+        fired = []
+        m.mem.line_signal(0, addr).wait(lambda _: fired.append(m.sim.now))
+        access(m, 1, addr, WRITE, value=1)
+        assert fired
+
+    def test_same_line_words_share_state(self, m):
+        base = m.alloc.alloc_line()
+        access(m, 0, base, READ)
+        assert m.mem.has_line(0, base + 8)
+
+    def test_invalidation_count(self, m):
+        addr = m.alloc.alloc_line()
+        for c in range(3):
+            access(m, c, addr, READ)
+        before = m.mem.invalidations
+        access(m, 3, addr, WRITE, value=1)
+        assert m.mem.invalidations == before + 3
+
+
+class TestAtomicity:
+    def test_concurrent_rmws_all_linearize(self, m):
+        """N concurrent fetch-and-adds must each observe a distinct old
+        value (regression for the commit-at-completion bug)."""
+        addr = m.alloc.alloc_line()
+        olds = []
+        for core in range(4):
+            m.mem.access(core, addr, RMW, olds.append, rmw=lambda v: v + 1)
+        m.sim.run()
+        assert sorted(olds) == [0, 1, 2, 3]
+        assert m.mem.peek(addr) == 4
+
+    def test_rmw_vs_hit_write_race(self, m):
+        """A hit-path RMW must not interleave with a remote RMW
+        (regression for the serialization-point bug)."""
+        addr = m.alloc.alloc_line()
+        access(m, 0, addr, WRITE, value=0)  # core 0 owns the line
+        olds = []
+        # core 0 issues a hit-path RMW; core 1 a miss-path RMW, same cycle
+        m.mem.access(0, addr, RMW, olds.append, rmw=lambda v: v + 1)
+        m.mem.access(1, addr, RMW, olds.append, rmw=lambda v: v + 1)
+        m.sim.run()
+        assert sorted(olds) == [0, 1]
+        assert m.mem.peek(addr) == 2
+
+    def test_read_after_write_grant_sees_data(self, m):
+        """Once the directory grants a write, any later read must observe
+        the written value (regression for the model-B MCS deadlock)."""
+        addr = m.alloc.alloc_line()
+        access(m, 1, addr, READ)  # core 1 caches the line
+        vals = []
+        m.mem.access(0, addr, WRITE, lambda _: None, value=9)
+        # queue a read right behind the write at the directory
+        m.mem.access(2, addr, READ, vals.append)
+        m.sim.run()
+        assert vals == [9]

@@ -1,0 +1,132 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.params import model_a, model_b, small_test_model
+from repro.sim.engine import Simulator
+
+
+def make_net(config):
+    sim = Simulator()
+    chips = {}
+
+    def chip_of(ep):
+        kind, idx = ep
+        if kind == "core":
+            return config.chip_of_core(idx)
+        return idx * config.chips // config.num_lrts
+
+    net = Network(sim, config, chip_of)
+    return sim, net
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sim, net = make_net(small_test_model())
+        got = []
+        net.register(("core", 0), lambda src, p: got.append((src, p)))
+        net.register(("core", 1), lambda src, p: got.append((src, p)))
+        net.send(("core", 0), ("core", 1), "hello")
+        sim.run()
+        assert got == [(("core", 0), "hello")]
+
+    def test_self_send_fast(self):
+        sim, net = make_net(small_test_model())
+        got = []
+        net.register(("core", 0), lambda src, p: got.append(sim.now))
+        net.send(("core", 0), ("core", 0), "x")
+        sim.run()
+        assert got == [1]
+
+    def test_unregistered_destination_raises(self):
+        sim, net = make_net(small_test_model())
+        net.register(("core", 0), lambda s, p: None)
+        with pytest.raises(KeyError):
+            net.send(("core", 0), ("core", 5), "x")
+
+    def test_duplicate_registration_rejected(self):
+        _sim, net = make_net(small_test_model())
+        net.register(("core", 0), lambda s, p: None)
+        with pytest.raises(ValueError):
+            net.register(("core", 0), lambda s, p: None)
+
+    def test_on_deliver_runs_after_handler(self):
+        sim, net = make_net(small_test_model())
+        order = []
+        net.register(("core", 0), lambda s, p: None)
+        net.register(("core", 1), lambda s, p: order.append("handler"))
+        net.send(("core", 0), ("core", 1), "x",
+                 on_deliver=lambda: order.append("cb"))
+        sim.run()
+        assert order == ["handler", "cb"]
+
+
+class TestOrdering:
+    def test_per_pair_fifo(self):
+        """The LCU/LRT protocol relies on src->dst FIFO delivery."""
+        sim, net = make_net(model_b(chips=2, num_lrts=2))
+        got = []
+        net.register(("core", 0), lambda s, p: None)
+        net.register(("core", 9), lambda s, p: got.append(p))
+        for i in range(20):
+            net.send(("core", 0), ("core", 9), i)
+        sim.run()
+        assert got == list(range(20))
+
+
+class TestLatency:
+    def test_intra_vs_inter_chip(self):
+        cfg = model_b()
+        sim, net = make_net(cfg)
+        assert net.latency_estimate(("core", 0), ("core", 1)) == cfg.intra_chip_hop
+        assert net.latency_estimate(("core", 0), ("core", 9)) == cfg.inter_chip_hop
+
+    def test_model_a_flat(self):
+        cfg = model_a()
+        _sim, net = make_net(cfg)
+        assert net.latency_estimate(("core", 0), ("core", 31)) == cfg.intra_chip_hop
+
+    def test_inter_chip_slower_end_to_end(self):
+        cfg = model_b()
+        sim, net = make_net(cfg)
+        times = {}
+        net.register(("core", 0), lambda s, p: None)
+        net.register(("core", 1), lambda s, p: times.__setitem__("near", sim.now))
+        net.register(("core", 30), lambda s, p: times.__setitem__("far", sim.now))
+        net.send(("core", 0), ("core", 1), "x")
+        net.send(("core", 0), ("core", 30), "y")
+        sim.run()
+        assert times["far"] > times["near"]
+
+
+class TestContention:
+    def test_hub_links_saturate(self):
+        """Flooding inter-chip traffic must queue on the hub links —
+        the mechanism behind the paper's Figure 9b SSB collapse."""
+        cfg = model_b()
+        sim, net = make_net(cfg)
+        deliveries = []
+        net.register(("core", 0), lambda s, p: None)
+        net.register(("core", 31), lambda s, p: deliveries.append(sim.now))
+        n = 50
+        for _ in range(n):
+            net.send(("core", 0), ("core", 31), "x")
+        sim.run()
+        assert len(deliveries) == n
+        # queueing spreads deliveries by at least the hub service time
+        gaps = [b - a for a, b in zip(deliveries, deliveries[1:])]
+        assert min(gaps) >= cfg.inter_chip_link_service
+        assert net.hub_utilisation() > 0
+        assert net.inter_chip_messages == n
+
+    def test_intra_chip_not_throttled_by_hubs(self):
+        cfg = model_b()
+        sim, net = make_net(cfg)
+        net.register(("core", 0), lambda s, p: None)
+        net.register(("core", 1), lambda s, p: None)
+        for _ in range(10):
+            net.send(("core", 0), ("core", 1), "x")
+        sim.run()
+        assert net.inter_chip_messages == 0
+        assert net.hub_utilisation() == 0.0

@@ -1,0 +1,248 @@
+"""Tests for the OS scheduling model: dispatch, preemption, migration,
+futexes, sleep, yield."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.cpu.os_sched import DONE, DeadlockError
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestBasicExecution:
+    def test_single_thread_computes(self, m):
+        os_ = OS(m)
+
+        def prog(thread):
+            yield ops.Compute(100)
+            yield ops.Compute(50)
+
+        t = os_.spawn(prog)
+        end = os_.run_all()
+        assert t.state == DONE
+        assert end >= 150
+
+    def test_return_values_flow_back(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        seen = []
+
+        def prog(thread):
+            yield ops.Store(addr, 7)
+            v = yield ops.Load(addr)
+            seen.append(v)
+            old = yield ops.Rmw(addr, lambda x: x * 2)
+            seen.append(old)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert seen == [7, 7]
+        assert m.mem.peek(addr) == 14
+
+    def test_threads_fill_cores(self, m):
+        os_ = OS(m)
+        cores_used = set()
+
+        def prog(thread):
+            yield ops.Compute(10)
+            cores_used.add(thread.core)
+
+        for _ in range(m.config.cores):
+            os_.spawn(prog)
+        os_.run_all()
+        assert cores_used == set(range(m.config.cores))
+
+    def test_spawn_inside_program(self, m):
+        os_ = OS(m)
+        ran = []
+
+        def child(thread):
+            yield ops.Compute(1)
+            ran.append("child")
+
+        def parent(thread):
+            yield ops.Compute(1)
+            os_.spawn(child)
+            ran.append("parent")
+
+        os_.spawn(parent)
+        os_.run_all()
+        assert sorted(ran) == ["child", "parent"]
+
+
+class TestPreemption:
+    def test_oversubscription_round_robins(self, m):
+        """More threads than cores: everyone still finishes."""
+        os_ = OS(m, quantum=500)
+        finished = []
+
+        def prog(thread):
+            for _ in range(10):
+                yield ops.Compute(200)
+            finished.append(thread.tid)
+
+        n = m.config.cores * 3
+        for _ in range(n):
+            os_.spawn(prog)
+        os_.run_all()
+        assert len(finished) == n
+
+    def test_preemption_counted(self, m):
+        os_ = OS(m, quantum=300)
+
+        def prog(thread):
+            for _ in range(20):
+                yield ops.Compute(100)
+
+        threads = [os_.spawn(prog) for _ in range(m.config.cores * 2)]
+        os_.run_all()
+        assert sum(t.preemptions for t in threads) > 0
+
+    def test_no_preemption_when_cores_free(self, m):
+        os_ = OS(m, quantum=100)
+
+        def prog(thread):
+            for _ in range(20):
+                yield ops.Compute(100)
+
+        threads = [os_.spawn(prog) for _ in range(m.config.cores)]
+        os_.run_all()
+        assert all(t.preemptions == 0 for t in threads)
+
+    def test_spinning_thread_is_preempted(self, m):
+        """A thread stuck in WaitLine must lose the core at quantum end."""
+        os_ = OS(m, quantum=400)
+        addr = m.alloc.alloc_line()
+        log = []
+
+        def spinner(thread):
+            yield ops.Load(addr)
+            yield ops.WaitLine(addr)   # nobody will ever write: spins
+            log.append("spinner-resumed")
+
+        def workers(thread):
+            yield ops.Compute(50)
+            log.append("worker")
+
+        for _ in range(m.config.cores):
+            os_.spawn(spinner)
+        for _ in range(m.config.cores):
+            os_.spawn(workers)
+        # run long enough for the quantum to expire and workers to run
+        m.sim.run(until=5_000)
+        assert log.count("worker") == m.config.cores
+
+
+class TestMigration:
+    def test_migration_happens_under_oversubscription(self, m):
+        os_ = OS(m, quantum=200, prefer_affinity=False)
+
+        def prog(thread):
+            for _ in range(30):
+                yield ops.Compute(80)
+
+        threads = [os_.spawn(prog) for _ in range(m.config.cores * 2)]
+        os_.run_all()
+        assert sum(t.migrations for t in threads) > 0
+
+    def test_affinity_keeps_core_when_free(self, m):
+        os_ = OS(m, quantum=100, prefer_affinity=True)
+
+        def prog(thread):
+            for _ in range(10):
+                yield ops.Compute(120)
+
+        threads = [os_.spawn(prog) for _ in range(m.config.cores)]
+        os_.run_all()
+        assert all(t.migrations == 0 for t in threads)
+
+
+class TestBlocking:
+    def test_sleep_releases_core(self, m):
+        os_ = OS(m)
+        order = []
+
+        def sleeper(thread):
+            order.append(("sleep-start", m.sim.now))
+            yield ops.SleepFor(1000)
+            order.append(("sleep-end", m.sim.now))
+
+        os_.spawn(sleeper)
+        os_.run_all()
+        start = dict(order)["sleep-start"]
+        end = dict(order)["sleep-end"]
+        assert end - start >= 1000
+
+    def test_futex_wait_wake(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        m.mem.poke(addr, 1)
+        events = []
+
+        def waiter(thread):
+            slept = yield ops.FutexWait(addr, 1)
+            events.append(("woke", slept))
+
+        def waker(thread):
+            yield ops.Compute(500)
+            yield ops.Store(addr, 0)
+            n = yield ops.FutexWake(addr, 1)
+            events.append(("woken", n))
+
+        os_.spawn(waiter)
+        os_.spawn(waker)
+        os_.run_all()
+        assert ("woke", True) in events
+        assert ("woken", 1) in events
+
+    def test_futex_wait_value_mismatch_returns_immediately(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        m.mem.poke(addr, 5)
+        res = []
+
+        def prog(thread):
+            slept = yield ops.FutexWait(addr, 1)
+            res.append(slept)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert res == [False]
+
+    def test_yield_cpu(self, m):
+        os_ = OS(m, quantum=10**9)
+        order = []
+
+        def a(thread):
+            order.append("a1")
+            yield ops.YieldCPU()
+            order.append("a2")
+            yield ops.Compute(1)
+
+        # saturate all cores so the yield actually hands over
+        def filler(thread):
+            yield ops.Compute(5000)
+
+        for _ in range(m.config.cores - 1):
+            os_.spawn(filler)
+        os_.spawn(a)
+        os_.spawn(a)
+        os_.run_all()
+        assert order.count("a2") == 2
+
+
+class TestDeadlockDetection:
+    def test_stuck_thread_raises(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def prog(thread):
+            yield ops.FutexWait(addr, 0)  # never woken
+
+        os_.spawn(prog)
+        with pytest.raises(DeadlockError):
+            os_.run_all()

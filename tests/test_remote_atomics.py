@@ -1,0 +1,132 @@
+"""Tests for remote atomics (MAOs) and the MAO lock."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.locks import get_algorithm
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestRemoteRmw:
+    def test_basic_semantics(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        olds = []
+
+        def prog(thread):
+            old = yield ops.RemoteRmw(addr, lambda v: v + 7)
+            olds.append(old)
+            old = yield ops.RemoteRmw(addr, lambda v: v + 7)
+            olds.append(old)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert olds == [0, 7]
+        assert m.mem.peek(addr) == 14
+
+    def test_concurrent_remote_rmws_linearize(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        olds = []
+
+        def prog(thread):
+            for _ in range(10):
+                old = yield ops.RemoteRmw(addr, lambda v: v + 1)
+                olds.append(old)
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all()
+        assert sorted(olds) == list(range(40))
+        assert m.mem.peek(addr) == 40
+
+    def test_no_line_left_cached(self, m):
+        """MAOs do not install the line in any L1."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def prog(thread):
+            yield ops.RemoteRmw(addr, lambda v: v + 1)
+
+        os_.spawn(prog)
+        os_.run_all()
+        for core in range(m.config.cores):
+            assert not m.mem.has_line(core, addr)
+
+    def test_invalidates_cached_copies(self, m):
+        """A remote atomic must invalidate stale cached copies so later
+        coherent loads see its effect."""
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+        seen = []
+
+        def prog(thread):
+            v = yield ops.Load(addr)          # caches the line (0)
+            yield ops.RemoteRmw(addr, lambda x: 42)
+            v = yield ops.Load(addr)          # must re-fetch
+            seen.append(v)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert seen == [42]
+
+    def test_mixed_with_coherent_rmw(self, m):
+        os_ = OS(m)
+        addr = m.alloc.alloc_line()
+
+        def remote(thread):
+            for _ in range(10):
+                yield ops.RemoteRmw(addr, lambda v: v + 1)
+
+        def coherent(thread):
+            for _ in range(10):
+                yield ops.Rmw(addr, lambda v: v + 1)
+
+        os_.spawn(remote)
+        os_.spawn(coherent)
+        os_.run_all()
+        assert m.mem.peek(addr) == 20
+
+
+class TestMaoLock:
+    def test_fifo_order(self, m):
+        algo = get_algorithm("mao")(m)
+        os_ = OS(m)
+        h = algo.make_lock()
+        order = []
+
+        def factory(i):
+            def prog(thread):
+                yield ops.Compute(1 + i * 200)
+                yield from algo.lock(thread, h, True)
+                order.append(i)
+                yield ops.Compute(500)
+                yield from algo.unlock(thread, h, True)
+            return prog
+
+        for i in range(4):
+            os_.spawn(factory(i))
+        os_.run_all(max_cycles=100_000_000)
+        assert order == [0, 1, 2, 3]
+
+    def test_uses_no_l1_for_the_lock(self, m):
+        algo = get_algorithm("mao")(m)
+        os_ = OS(m)
+        h = algo.make_lock()
+
+        def prog(thread):
+            for _ in range(5):
+                yield from algo.lock(thread, h, True)
+                yield ops.Compute(20)
+                yield from algo.unlock(thread, h, True)
+
+        os_.spawn(prog)
+        os_.run_all(max_cycles=100_000_000)
+        for core in range(m.config.cores):
+            assert not m.mem.has_line(core, h.ticket)
+            assert not m.mem.has_line(core, h.serving)

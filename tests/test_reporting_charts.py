@@ -1,0 +1,32 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+from repro.harness.reporting import render_chart
+
+
+class TestRenderChart:
+    def test_bars_scale_to_peak(self):
+        out = render_chart("t", [1], {"a": [50.0], "b": [100.0]}, width=10)
+        lines = out.splitlines()
+        a_bar = next(l for l in lines if l.strip().startswith("a"))
+        b_bar = next(l for l in lines if l.strip().startswith("b"))
+        assert b_bar.count("#") == 10
+        assert a_bar.count("#") == 5
+
+    def test_title_and_groups(self):
+        out = render_chart("threads", [2, 4], {"x": [1.0, 2.0]}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "threads=2" in out and "threads=4" in out
+
+    def test_nan_rendered_as_not_run(self):
+        out = render_chart("t", [1], {"a": [float("nan")], "b": [5.0]})
+        assert "(not run)" in out
+
+    def test_zero_series(self):
+        out = render_chart("t", [1], {"a": [0.0]})
+        assert "0.0" in out
+
+    def test_values_printed(self):
+        out = render_chart("t", [1], {"sys": [123.4]})
+        assert "123.4" in out

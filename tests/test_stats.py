@@ -1,0 +1,72 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Accumulator, Histogram, jain_fairness
+
+
+class TestAccumulator:
+    def test_empty(self):
+        a = Accumulator()
+        assert a.n == 0
+        assert a.mean == 0.0
+        assert a.variance == 0.0
+        assert a.confidence95() == 0.0
+
+    def test_basic_moments(self):
+        a = Accumulator()
+        a.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert a.mean == pytest.approx(5.0)
+        assert a.stdev == pytest.approx(math.sqrt(32 / 7))
+        assert a.min == 2 and a.max == 9
+        assert a.total == 40
+
+    def test_single_value(self):
+        a = Accumulator()
+        a.add(3.5)
+        assert a.mean == 3.5
+        assert a.variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_direct_computation(self, xs):
+        a = Accumulator()
+        a.extend(xs)
+        assert a.mean == pytest.approx(sum(xs) / len(xs), abs=1e-6, rel=1e-9)
+        assert a.min == min(xs) and a.max == max(xs)
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=64))
+    def test_bounds(self, xs):
+        f = jain_fairness(xs)
+        assert 0 <= f <= 1.0 + 1e-9
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        h = Histogram(bucket_width=10)
+        for v in range(100):  # 0..99, one per bucket of ten
+            h.add(v)
+        assert h.percentile(50) == pytest.approx(50, abs=10)
+        assert h.percentile(100) == pytest.approx(100, abs=10)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=0)
+
+    def test_empty_percentile(self):
+        assert Histogram().percentile(99) == 0.0

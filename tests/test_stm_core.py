@@ -1,0 +1,209 @@
+"""Tests for the STM engine: isolation, atomicity, opacity, variants."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.stm.core import AbortTx, ObjectSTM, TooManyRetries
+from repro.stm.direct import DirectTx, populate, run_direct
+from repro.stm.structures.rbtree import RBTree
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+def make(m, variant="lcu"):
+    return ObjectSTM(m, variant)
+
+
+class TestBasicTransactions:
+    def test_read_write_commit(self, m):
+        os_ = OS(m)
+        stm = make(m)
+        obj = stm.alloc(10)
+        out = []
+
+        def prog(thread):
+            def body(tx):
+                v = yield from tx.read(obj)
+                yield from tx.write(obj, v + 5)
+                return v
+
+            r = yield from stm.run(thread, body)
+            out.append(r)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert out == [10]
+        assert obj.value == 15
+        assert stm.stats.commits == 1
+
+    def test_read_only_txn_commits_without_clock_bump(self, m):
+        os_ = OS(m)
+        stm = make(m)
+        obj = stm.alloc(1)
+
+        def prog(thread):
+            def body(tx):
+                v = yield from tx.read(obj)
+                return v
+
+            yield from stm.run(thread, body)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert stm.clock == 0
+        assert obj.version == 0
+
+    def test_own_writes_visible(self, m):
+        os_ = OS(m)
+        stm = make(m)
+        obj = stm.alloc(1)
+        seen = []
+
+        def prog(thread):
+            def body(tx):
+                yield from tx.write(obj, 99)
+                v = yield from tx.read(obj)
+                seen.append(v)
+
+            yield from stm.run(thread, body)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert seen == [99]
+
+    def test_unknown_variant_rejected(self, m):
+        with pytest.raises(ValueError):
+            ObjectSTM(m, "nope")
+
+    def test_explicit_abort_retries(self, m):
+        os_ = OS(m)
+        stm = make(m)
+        attempts = [0]
+
+        def prog(thread):
+            def body(tx):
+                attempts[0] += 1
+                if attempts[0] < 3:
+                    raise AbortTx()
+                return "done"
+                yield  # pragma: no cover
+
+            r = yield from stm.run(thread, body)
+            assert r == "done"
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert attempts[0] == 3
+        assert stm.stats.aborts == 2
+
+    def test_retry_budget_exhausted(self, m):
+        os_ = OS(m)
+        stm = make(m)
+        failed = []
+
+        def prog(thread):
+            def body(tx):
+                raise AbortTx()
+                yield  # pragma: no cover
+
+            try:
+                yield from stm.run(thread, body, max_retries=3)
+            except TooManyRetries:
+                failed.append(True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert failed
+
+
+@pytest.mark.parametrize("variant", ["sw-only", "lcu", "ssb", "fraser"])
+class TestIsolation:
+    def test_concurrent_increments_are_atomic(self, m, variant):
+        os_ = OS(m)
+        stm = make(m, variant)
+        counter = stm.alloc(0)
+        per_thread = 15
+
+        def prog(thread):
+            for _ in range(per_thread):
+                def body(tx):
+                    v = yield from tx.read(counter)
+                    yield ops.Compute(20)  # widen the conflict window
+                    yield from tx.write(counter, v + 1)
+
+                yield from stm.run(thread, body)
+
+        n = 4
+        for _ in range(n):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=5_000_000_000)
+        assert counter.value == n * per_thread
+
+    def test_consistent_two_object_snapshot(self, m, variant):
+        """Invariant x + y == 0 must hold in every successful read txn
+        even while writers move value between x and y."""
+        os_ = OS(m)
+        stm = make(m, variant)
+        x = stm.alloc(0)
+        y = stm.alloc(0)
+        bad = []
+
+        def mover(thread):
+            for i in range(20):
+                def body(tx, i=i):
+                    vx = yield from tx.read(x)
+                    vy = yield from tx.read(y)
+                    yield from tx.write(x, vx + 1)
+                    yield ops.Compute(15)
+                    yield from tx.write(y, vy - 1)
+
+                yield from stm.run(thread, body)
+
+        def checker(thread):
+            for _ in range(25):
+                def body(tx):
+                    vx = yield from tx.read(x)
+                    yield ops.Compute(10)
+                    vy = yield from tx.read(y)
+                    return vx + vy
+
+                s = yield from stm.run(thread, body)
+                if s != 0:
+                    bad.append(s)
+
+        os_.spawn(mover)
+        os_.spawn(mover)
+        os_.spawn(checker)
+        os_.spawn(checker)
+        os_.run_all(max_cycles=5_000_000_000)
+        assert not bad, f"inconsistent snapshots: {bad}"
+
+
+class TestDirectSetup:
+    def test_run_direct_returns_value(self, m):
+        stm = make(m)
+        tree = RBTree(stm)
+        assert run_direct(stm, lambda tx: tree.insert(tx, 5)) is True
+        assert run_direct(stm, lambda tx: tree.insert(tx, 5)) is False
+        assert run_direct(stm, lambda tx: tree.contains(tx, 5)) is True
+
+    def test_populate_builds_valid_tree(self, m):
+        stm = make(m)
+        tree = RBTree(stm)
+        populate(stm, tree, range(0, 200, 2))
+        keys = run_direct(stm, lambda tx: tree.snapshot_keys(tx))
+        assert keys == list(range(0, 200, 2))
+        run_direct(stm, lambda tx: tree.check_invariants(tx))
+
+    def test_direct_rejects_simulation_ops(self, m):
+        stm = make(m)
+
+        def body(tx):
+            yield ops.Compute(1)
+
+        with pytest.raises(RuntimeError):
+            run_direct(stm, body)

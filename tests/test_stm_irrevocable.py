@@ -1,0 +1,162 @@
+"""Irrevocable transactions (Dice & Shavit's RW-lock-STM benefit)."""
+
+import random
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.stm.core import ObjectSTM
+from repro.stm.direct import run_direct
+from repro.stm.structures.rbtree import RBTree
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestIrrevocable:
+    def test_requires_opt_in(self, m):
+        os_ = OS(m)
+        stm = ObjectSTM(m, "lcu")  # support off
+        failed = []
+
+        def prog(thread):
+            def body(tx):
+                return 1
+                yield  # pragma: no cover
+
+            try:
+                yield from stm.run_irrevocable(thread, body)
+            except RuntimeError:
+                failed.append(True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert failed
+
+    def test_executes_exactly_once(self, m):
+        os_ = OS(m)
+        stm = ObjectSTM(m, "lcu", irrevocable_support=True)
+        obj = stm.alloc(5)
+        attempts = [0]
+
+        def prog(thread):
+            def body(tx):
+                attempts[0] += 1
+                v = yield from tx.read(obj)
+                yield from tx.write(obj, v * 2)
+                return v
+
+            r = yield from stm.run_irrevocable(thread, body)
+            assert r == 5
+
+        os_.spawn(prog)
+        os_.run_all()
+        assert attempts[0] == 1
+        assert obj.value == 10
+        assert obj.version == stm.clock
+
+    @pytest.mark.parametrize("variant", ["sw-only", "lcu"])
+    def test_mixed_with_regular_transactions(self, m, variant):
+        """Regular increments and irrevocable increments must all land;
+        concurrent regular txns see consistent state and abort/retry
+        around the irrevocable one."""
+        stm = ObjectSTM(m, variant, irrevocable_support=True)
+        counter = stm.alloc(0)
+        os_ = OS(m)
+
+        def regular(thread):
+            for _ in range(10):
+                def body(tx):
+                    v = yield from tx.read(counter)
+                    yield ops.Compute(15)
+                    yield from tx.write(counter, v + 1)
+
+                yield from stm.run(thread, body)
+
+        def irrevocable(thread):
+            for _ in range(10):
+                def body(tx):
+                    v = yield from tx.read(counter)
+                    yield ops.Compute(15)
+                    yield from tx.write(counter, v + 1)
+
+                yield from stm.run_irrevocable(thread, body)
+                yield ops.Compute(30)
+
+        os_.spawn(regular)
+        os_.spawn(regular)
+        os_.spawn(irrevocable)
+        os_.run_all(max_cycles=5_000_000_000)
+        assert counter.value == 30
+
+    def test_irrevocable_never_aborts_under_churn(self, m):
+        """An irrevocable RB-tree update proceeds exactly once while
+        regular transactions churn the same tree."""
+        stm = ObjectSTM(m, "lcu", irrevocable_support=True)
+        tree = RBTree(stm)
+        for k in range(0, 60, 2):
+            run_direct(stm, lambda tx, kk=k: tree.insert(tx, kk))
+        os_ = OS(m)
+        body_runs = [0]
+
+        def churner(thread):
+            rng = random.Random(thread.tid)
+            for _ in range(15):
+                key = rng.randrange(60)
+                if rng.random() < 0.5:
+                    yield from stm.run(
+                        thread, lambda tx, k=key: tree.insert(tx, k)
+                    )
+                else:
+                    yield from stm.run(
+                        thread, lambda tx, k=key: tree.remove(tx, k)
+                    )
+
+        def irrevocable_worker(thread):
+            yield ops.Compute(500)
+
+            def body(tx):
+                body_runs[0] += 1
+                yield from tree.insert(tx, 999)
+                found = yield from tree.contains(tx, 999)
+                assert found
+                return found
+
+            ok = yield from stm.run_irrevocable(thread, body)
+            assert ok
+
+        os_.spawn(churner)
+        os_.spawn(churner)
+        os_.spawn(irrevocable_worker)
+        os_.run_all(max_cycles=5_000_000_000)
+        assert body_runs[0] == 1
+        assert run_direct(stm, lambda tx: tree.contains(tx, 999))
+        run_direct(stm, lambda tx: tree.check_invariants(tx))
+
+    def test_read_only_regular_txns_share_token(self, m):
+        """With irrevocable support on, concurrent regular commits must
+        still overlap (the token is taken in read mode)."""
+        stm = ObjectSTM(m, "lcu", irrevocable_support=True)
+        objs = [stm.alloc(i) for i in range(4)]
+        os_ = OS(m)
+        done = [0]
+
+        def prog(thread):
+            for _ in range(8):
+                def body(tx):
+                    total = 0
+                    for o in objs:
+                        v = yield from tx.read(o)
+                        total += v
+                    return total
+
+                yield from stm.run(thread, body)
+                done[0] += 1
+
+        for _ in range(4):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=1_000_000_000)
+        assert done[0] == 32

@@ -1,0 +1,178 @@
+"""Transactional data-structure tests: correctness against a reference
+set, RB invariants, concurrent consistency, hypothesis-driven op runs."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, OS, small_test_model
+from repro.stm.core import ObjectSTM
+from repro.stm.direct import run_direct
+from repro.stm.structures.hashtable import HashTable
+from repro.stm.structures.rbtree import RBTree
+from repro.stm.structures.skiplist import SkipList
+
+ALL_STRUCTURES = [RBTree, SkipList, HashTable]
+
+
+def make_struct(cls):
+    m = Machine(small_test_model())
+    stm = ObjectSTM(m, "lcu")
+    return m, stm, cls(stm)
+
+
+@pytest.mark.parametrize("cls", ALL_STRUCTURES)
+class TestSequentialSemantics:
+    def test_insert_contains_remove(self, cls):
+        _m, stm, s = make_struct(cls)
+        assert run_direct(stm, lambda tx: s.contains(tx, 3)) is False
+        assert run_direct(stm, lambda tx: s.insert(tx, 3)) is True
+        assert run_direct(stm, lambda tx: s.contains(tx, 3)) is True
+        assert run_direct(stm, lambda tx: s.insert(tx, 3)) is False
+        assert run_direct(stm, lambda tx: s.remove(tx, 3)) is True
+        assert run_direct(stm, lambda tx: s.remove(tx, 3)) is False
+        assert run_direct(stm, lambda tx: s.contains(tx, 3)) is False
+
+    def test_snapshot_sorted(self, cls):
+        _m, stm, s = make_struct(cls)
+        for k in [5, 1, 9, 3, 7]:
+            run_direct(stm, lambda tx, k=k: s.insert(tx, k))
+        assert run_direct(stm, lambda tx: s.snapshot_keys(tx)) == [1, 3, 5, 7, 9]
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops_list=st.lists(
+        st.tuples(st.sampled_from(["i", "r", "c"]), st.integers(0, 30)),
+        max_size=120,
+    ))
+    def test_matches_reference_set(self, cls, ops_list):
+        _m, stm, s = make_struct(cls)
+        ref = set()
+        for op, key in ops_list:
+            if op == "i":
+                got = run_direct(stm, lambda tx, k=key: s.insert(tx, k))
+                assert got == (key not in ref)
+                ref.add(key)
+            elif op == "r":
+                got = run_direct(stm, lambda tx, k=key: s.remove(tx, k))
+                assert got == (key in ref)
+                ref.discard(key)
+            else:
+                got = run_direct(stm, lambda tx, k=key: s.contains(tx, k))
+                assert got == (key in ref)
+        assert run_direct(stm, lambda tx: s.snapshot_keys(tx)) == sorted(ref)
+
+
+class TestRBInvariants:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops_list=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 50)), max_size=150,
+    ))
+    def test_balanced_after_every_op(self, ops_list):
+        _m, stm, tree = make_struct(RBTree)
+        for insert, key in ops_list:
+            if insert:
+                run_direct(stm, lambda tx, k=key: tree.insert(tx, k))
+            else:
+                run_direct(stm, lambda tx, k=key: tree.remove(tx, k))
+            run_direct(stm, lambda tx: tree.check_invariants(tx))
+
+    def test_large_sequential_build(self):
+        _m, stm, tree = make_struct(RBTree)
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            run_direct(stm, lambda tx, k=k: tree.insert(tx, k))
+        run_direct(stm, lambda tx: tree.check_invariants(tx))
+        for k in keys[:250]:
+            run_direct(stm, lambda tx, k=k: tree.remove(tx, k))
+        run_direct(stm, lambda tx: tree.check_invariants(tx))
+        assert run_direct(stm, lambda tx: tree.snapshot_keys(tx)) == sorted(
+            keys[250:]
+        )
+
+
+class TestSkipListLevels:
+    def test_levels_deterministic_and_bounded(self):
+        from repro.stm.structures.skiplist import MAX_LEVEL, _level_of
+
+        for k in range(200):
+            lvl = _level_of(k)
+            assert 1 <= lvl <= MAX_LEVEL
+            assert lvl == _level_of(k)  # deterministic
+
+    def test_level_distribution_roughly_geometric(self):
+        from repro.stm.structures.skiplist import _level_of
+
+        levels = [_level_of(k) for k in range(4000)]
+        ones = sum(1 for l in levels if l == 1)
+        twos = sum(1 for l in levels if l == 2)
+        assert 0.35 < ones / len(levels) < 0.65
+        assert twos < ones
+
+
+class TestHashTable:
+    def test_bucket_count_validation(self):
+        m = Machine(small_test_model())
+        stm = ObjectSTM(m, "lcu")
+        with pytest.raises(ValueError):
+            HashTable(stm, buckets=0)
+
+    def test_colliding_keys_coexist(self):
+        _m, stm, h = make_struct(HashTable)
+        b = len(h.buckets)
+        k1, k2 = 7, 7 + b  # same bucket
+        assert run_direct(stm, lambda tx: h.insert(tx, k1))
+        assert run_direct(stm, lambda tx: h.insert(tx, k2))
+        assert run_direct(stm, lambda tx: h.contains(tx, k1))
+        assert run_direct(stm, lambda tx: h.contains(tx, k2))
+        assert run_direct(stm, lambda tx: h.remove(tx, k1))
+        assert run_direct(stm, lambda tx: h.contains(tx, k2))
+
+
+@pytest.mark.parametrize("variant", ["sw-only", "lcu", "fraser"])
+@pytest.mark.parametrize("cls", ALL_STRUCTURES)
+class TestConcurrentConsistency:
+    def test_membership_conserved(self, variant, cls):
+        """Concurrent random ops: successful insert/remove results must
+        exactly explain the final contents."""
+        m = Machine(small_test_model())
+        stm = ObjectSTM(m, variant)
+        s = cls(stm)
+        os_ = OS(m)
+        results = []
+
+        def factory(i):
+            def prog(thread):
+                rng = random.Random(1000 * i + 5)
+                for _ in range(25):
+                    key = rng.randint(0, 25)
+                    if rng.random() < 0.5:
+                        ok = yield from stm.run(
+                            thread, lambda tx, k=key: s.insert(tx, k)
+                        )
+                        results.append(("i", key, ok))
+                    else:
+                        ok = yield from stm.run(
+                            thread, lambda tx, k=key: s.remove(tx, k)
+                        )
+                        results.append(("r", key, ok))
+            return prog
+
+        for i in range(4):
+            os_.spawn(factory(i))
+        os_.run_all(max_cycles=20_000_000_000)
+
+        net = {}
+        for op, k, ok in results:
+            if ok:
+                net[k] = net.get(k, 0) + (1 if op == "i" else -1)
+        assert all(v in (0, 1) for v in net.values()), net
+        expected = sorted(k for k, v in net.items() if v == 1)
+        final = run_direct(stm, lambda tx: s.snapshot_keys(tx))
+        assert final == expected
+        if isinstance(s, RBTree):
+            run_direct(stm, lambda tx: s.check_invariants(tx))

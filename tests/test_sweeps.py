@@ -1,0 +1,63 @@
+"""Tests for the sensitivity-sweep helpers."""
+
+import pytest
+
+from repro.harness.sweeps import (
+    SweepResult,
+    contention_sweep,
+    cs_length_sweep,
+    sweep_parameter,
+)
+from repro.params import small_test_model
+
+
+class TestSweepMechanics:
+    def test_sweep_shape(self):
+        r = sweep_parameter(
+            small_test_model, "cs_cycles", (10, 100), ("lcu", "tas"),
+            threads=3, iters_per_thread=10,
+        )
+        assert r.parameter == "cs_cycles"
+        assert r.values == [10, 100]
+        assert set(r.series) == {"lcu", "tas"}
+        assert all(len(v) == 2 for v in r.series.values())
+
+    def test_threads_parameter_special_cased(self):
+        r = sweep_parameter(
+            small_test_model, "threads", (2, 4), ("lcu",),
+            iters_per_thread=8,
+        )
+        assert len(r.series["lcu"]) == 2
+
+    def test_ratio_and_crossover(self):
+        r = SweepResult("x", [1, 2, 3], {"a": [1.0, 2.0, 3.0],
+                                         "b": [2.0, 2.0, 2.0]})
+        assert r.ratio("a", "b") == [0.5, 1.0, 1.5]
+        assert r.crossover("a", "b") == 1
+        assert r.crossover("b", "a") == 0
+        r2 = SweepResult("x", [1], {"a": [1.0], "b": [2.0]})
+        assert r2.crossover("a", "b") is None
+
+
+class TestSweepPhysics:
+    def test_cs_length_amortizes_lock_choice(self):
+        """With very long critical sections, lock choice stops mattering
+        (the paper's three-phase argument)."""
+        r = cs_length_sweep(
+            small_test_model, locks=("lcu", "mcs"),
+            values=(10, 2_000), threads=3, iters_per_thread=10,
+        )
+        short = r.ratio("mcs", "lcu")[0]
+        long_ = r.ratio("mcs", "lcu")[-1]
+        assert short > long_          # advantage shrinks
+        assert long_ == pytest.approx(1.0, rel=0.25)
+
+    def test_contention_collapses_single_line_lock(self):
+        r = contention_sweep(
+            small_test_model, locks=("lcu", "tas"), values=(2, 4),
+            iters_per_thread=15,
+        )
+        tas = r.series["tas"]
+        lcu = r.series["lcu"]
+        # TAS degrades with contenders much faster than the LCU
+        assert tas[-1] / tas[0] > lcu[-1] / lcu[0] * 0.9

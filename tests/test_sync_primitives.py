@@ -1,0 +1,145 @@
+"""Tests for the Barrier and CondVar primitives."""
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.locks import get_algorithm
+from repro.locks.sync import Barrier, CondVar
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model())
+
+
+class TestBarrier:
+    def test_parties_validation(self, m):
+        with pytest.raises(ValueError):
+            Barrier(m, 0)
+
+    def test_nobody_passes_early(self, m):
+        os_ = OS(m)
+        bar = Barrier(m, 4)
+        passed = []
+        arrived = []
+
+        def prog_factory(i):
+            def prog(thread):
+                yield ops.Compute(100 * (i + 1))
+                arrived.append((m.sim.now, i))
+                yield from bar.wait(thread)
+                passed.append((m.sim.now, i))
+            return prog
+
+        for i in range(4):
+            os_.spawn(prog_factory(i))
+        os_.run_all()
+        last_arrival = max(t for t, _ in arrived)
+        assert all(t >= last_arrival for t, _ in passed)
+
+    def test_reusable_across_generations(self, m):
+        os_ = OS(m)
+        bar = Barrier(m, 3)
+        phases = {i: [] for i in range(3)}
+
+        def prog_factory(i):
+            def prog(thread):
+                for phase in range(4):
+                    yield ops.Compute(30 * (i + 1))
+                    gen = yield from bar.wait(thread)
+                    phases[i].append(gen)
+            return prog
+
+        for i in range(3):
+            os_.spawn(prog_factory(i))
+        os_.run_all(max_cycles=10_000_000)
+        # every thread saw the same generation sequence
+        assert phases[0] == phases[1] == phases[2] == [1, 2, 3, 4]
+
+    def test_oversubscribed_barrier(self, m):
+        """More parties than cores: spinning waiters must be preempted so
+        the remaining parties can arrive."""
+        os_ = OS(m, quantum=1_000)
+        n = m.config.cores * 2
+        bar = Barrier(m, n)
+        done = [0]
+
+        def prog(thread):
+            yield ops.Compute(10)
+            yield from bar.wait(thread)
+            done[0] += 1
+
+        for _ in range(n):
+            os_.spawn(prog)
+        os_.run_all(max_cycles=100_000_000)
+        assert done[0] == n
+
+
+@pytest.mark.parametrize("lock_name", ["pthread", "lcu", "mcs"])
+class TestCondVar:
+    def test_producer_consumer(self, m, lock_name):
+        algo = get_algorithm(lock_name)(m)
+        os_ = OS(m)
+        handle = algo.make_lock()
+        cv = CondVar(m, algo)
+        queue_len = m.alloc.alloc_line()
+        consumed = [0]
+
+        def consumer(thread):
+            for _ in range(5):
+                yield from algo.lock(thread, handle, True)
+                while True:
+                    n = yield ops.Load(queue_len)
+                    if n > 0:
+                        break
+                    yield from cv.wait(thread, handle)
+                yield ops.Store(queue_len, n - 1)
+                consumed[0] += 1
+                yield from algo.unlock(thread, handle, True)
+
+        def producer(thread):
+            for _ in range(5):
+                yield ops.Compute(400)
+                yield from algo.lock(thread, handle, True)
+                n = yield ops.Load(queue_len)
+                yield ops.Store(queue_len, n + 1)
+                yield from cv.notify()
+                yield from algo.unlock(thread, handle, True)
+
+        os_.spawn(consumer)
+        os_.spawn(producer)
+        os_.run_all(max_cycles=100_000_000)
+        assert consumed[0] == 5
+        assert m.mem.peek(queue_len) == 0
+
+    def test_notify_all_wakes_everyone(self, m, lock_name):
+        algo = get_algorithm(lock_name)(m)
+        os_ = OS(m)
+        handle = algo.make_lock()
+        cv = CondVar(m, algo)
+        flag = m.alloc.alloc_line()
+        woken = [0]
+
+        def waiter(thread):
+            yield from algo.lock(thread, handle, True)
+            while True:
+                f = yield ops.Load(flag)
+                if f:
+                    break
+                yield from cv.wait(thread, handle)
+            woken[0] += 1
+            yield from algo.unlock(thread, handle, True)
+
+        def broadcaster(thread):
+            yield ops.Compute(2_000)
+            yield from algo.lock(thread, handle, True)
+            yield ops.Store(flag, 1)
+            yield from cv.notify_all()
+            yield from algo.unlock(thread, handle, True)
+
+        for _ in range(3):
+            os_.spawn(waiter)
+        os_.spawn(broadcaster)
+        os_.run_all(max_cycles=100_000_000)
+        assert woken[0] == 3

@@ -1,0 +1,89 @@
+"""Tests for the message tracer."""
+
+from repro import Machine, OS, small_test_model
+from repro.cpu import ops
+from repro.lcu import api
+from repro.lcu import messages as lcu_msgs
+from repro.sim.trace import Tracer
+
+
+def run_locked_cs(machine, addr):
+    os_ = OS(machine)
+
+    def prog(thread):
+        yield from api.lock(addr, True)
+        yield ops.Compute(20)
+        yield from api.unlock(addr, True)
+
+    os_.spawn(prog)
+    os_.run_all()
+    machine.drain()
+
+
+class TestTracer:
+    def test_records_protocol_messages(self):
+        m = Machine(small_test_model())
+        addr = m.alloc.alloc_line()
+        tracer = Tracer.attach(m)
+        run_locked_cs(m, addr)
+        kinds = {type(r.payload) for r in tracer.records}
+        assert lcu_msgs.Request in kinds
+        assert lcu_msgs.Grant in kinds
+        assert lcu_msgs.ReleaseMsg in kinds
+
+    def test_addr_filter(self):
+        m = Machine(small_test_model())
+        a1 = m.alloc.alloc_line()
+        a2 = m.alloc.alloc_line()
+        tracer = Tracer.attach(m, addr_filter={a1})
+        os_ = OS(m)
+
+        def prog(thread):
+            for a in (a1, a2):
+                yield from api.lock(a, True)
+                yield from api.unlock(a, True)
+
+        os_.spawn(prog)
+        os_.run_all()
+        m.drain()
+        addrs = {getattr(r.payload, "addr", None) for r in tracer.records}
+        assert addrs == {a1}
+        assert tracer.dropped > 0
+
+    def test_type_filter(self):
+        m = Machine(small_test_model())
+        addr = m.alloc.alloc_line()
+        tracer = Tracer.attach(m, type_filter={lcu_msgs.Grant})
+        run_locked_cs(m, addr)
+        assert tracer.records
+        assert all(
+            isinstance(r.payload, lcu_msgs.Grant) for r in tracer.records
+        )
+
+    def test_detach_restores_send(self):
+        m = Machine(small_test_model())
+        addr = m.alloc.alloc_line()
+        tracer = Tracer.attach(m)
+        tracer.detach()
+        run_locked_cs(m, addr)
+        assert len(tracer) == 0
+
+    def test_capacity_bound(self):
+        m = Machine(small_test_model())
+        tracer = Tracer.attach(m, capacity=5)
+        addr = m.alloc.alloc_line()
+        run_locked_cs(m, addr)
+        assert len(tracer) <= 5
+
+    def test_render_and_queries(self):
+        m = Machine(small_test_model())
+        addr = m.alloc.alloc_line()
+        tracer = Tracer.attach(m)
+        run_locked_cs(m, addr)
+        text = tracer.render()
+        assert "Request" in text and "->" in text
+        grants = tracer.of_type(lcu_msgs.Grant)
+        assert grants
+        window = tracer.between(0, m.sim.now)
+        assert len(window) == len(tracer)
+        assert Tracer().render() == "(no trace records)"
