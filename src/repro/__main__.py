@@ -8,11 +8,18 @@ Commands:
 * ``app``         — one application kernel under one lock model.
 * ``figure``      — regenerate a paper figure (fig9a .. fig13).
 * ``locks``       — list registered lock algorithms.
+* ``report``      — validate and summarize a run-report JSON file.
+
+The benchmark commands accept ``--metrics-out FILE`` (machine-readable
+run report), ``--trace-out FILE`` (Chrome trace-event JSON, loadable in
+Perfetto) and ``--sample-interval N`` (gauge time-series period in
+cycles); see README "Observability".
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.apps.base import all_apps, run_app
@@ -21,39 +28,95 @@ from repro.harness.microbench import run_microbench
 from repro.harness.stm_bench import STRUCTURES, run_stm_bench
 from repro.harness.tables import figure1_table, figure8_table
 from repro.locks.base import all_algorithms
+from repro.obs import (
+    MetricsRegistry,
+    ReportValidationError,
+    SpanTracer,
+    build_run_report,
+    summarize_run_report,
+    validate_run_report,
+    write_run_report,
+)
 from repro.params import model_a, model_b
 from repro.stm.core import ObjectSTM
 
 _FIGURES = {
-    "fig9a": lambda s: figures.figure9("A", iters_per_thread=100 * s),
-    "fig9b": lambda s: figures.figure9("B", write_ratios=(100, 50),
-                                       iters_per_thread=100 * s),
-    "fig10a": lambda s: figures.figure10(
+    "fig9a": lambda s, **kw: figures.figure9(
+        "A", iters_per_thread=100 * s, **kw),
+    "fig9b": lambda s, **kw: figures.figure9(
+        "B", write_ratios=(100, 50), iters_per_thread=100 * s, **kw),
+    "fig10a": lambda s, **kw: figures.figure10(
         "A", thread_counts=(8, 16, 32, 48),
-        iters_per_thread=30 * s, quantum=20_000,
+        iters_per_thread=30 * s, quantum=20_000, **kw,
     ),
-    "fig10b": lambda s: figures.figure10(
+    "fig10b": lambda s, **kw: figures.figure10(
         "B", thread_counts=(4, 8, 16, 32), iters_per_thread=60 * s,
-        locks=("lcu", "mcs", "mrsw", "tatas"),
+        locks=("lcu", "mcs", "mrsw", "tatas"), **kw,
     ),
-    "fig11a": lambda s: figures.figure11("A", txns_per_thread=40 * s),
-    "fig11b": lambda s: figures.figure11(
-        "B", thread_counts=(1, 4, 8, 16), txns_per_thread=30 * s,
+    "fig11a": lambda s, **kw: figures.figure11(
+        "A", txns_per_thread=40 * s, **kw),
+    "fig11b": lambda s, **kw: figures.figure11(
+        "B", thread_counts=(1, 4, 8, 16), txns_per_thread=30 * s, **kw,
     ),
-    "fig12a": lambda s: figures.figure12(
+    "fig12a": lambda s, **kw: figures.figure12(
         "A", sizes={"rb": 2_048 * s, "skip": 2_048 * s, "hash": 8_192 * s},
-        txns_per_thread=30 * s,
+        txns_per_thread=30 * s, **kw,
     ),
-    "fig12b": lambda s: figures.figure12(
+    "fig12b": lambda s, **kw: figures.figure12(
         "B", sizes={"rb": 1_024 * s, "skip": 1_024 * s, "hash": 4_096 * s},
-        txns_per_thread=25 * s,
+        txns_per_thread=25 * s, **kw,
     ),
-    "fig13": lambda s: figures.figure13(seeds=tuple(range(1, 3 + s))),
+    "fig13": lambda s, **kw: figures.figure13(
+        seeds=tuple(range(1, 3 + s)), **kw),
 }
 
 
 def _model(name: str):
     return model_a() if name.upper() == "A" else model_b()
+
+
+# --------------------------------------------------------------------- #
+# telemetry plumbing shared by the benchmark commands
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a machine-readable run report (JSON) here",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON (Perfetto-loadable) here",
+    )
+    parser.add_argument(
+        "--sample-interval", type=int, default=0, metavar="CYCLES",
+        help="sample gauge time series every N cycles (0 = off)",
+    )
+
+
+def _obs_setup(args):
+    """Build (registry, tracer) from the telemetry flags; both None when
+    the flags are absent, so instrumentation stays off."""
+    registry = MetricsRegistry() if args.metrics_out else None
+    tracer = SpanTracer() if args.trace_out else None
+    return registry, tracer
+
+
+def _obs_emit(args, kind, config, result, registry, tracer) -> None:
+    """Write the run report / trace files requested on the command line."""
+    if registry is not None:
+        results = (
+            dataclasses.asdict(result)
+            if dataclasses.is_dataclass(result) else result
+        )
+        report = build_run_report(
+            kind, config, results, metrics=registry.to_dict()
+        )
+        write_run_report(args.metrics_out, report)
+        print(f"run report: {args.metrics_out}")
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"chrome trace: {args.trace_out} "
+              f"({len(tracer.spans)} spans)")
 
 
 def cmd_tables(_args) -> int:
@@ -72,41 +135,123 @@ def cmd_locks(_args) -> int:
 
 
 def cmd_microbench(args) -> int:
+    config = _model(args.model)
+    registry, tracer = _obs_setup(args)
     r = run_microbench(
-        _model(args.model), args.lock, args.threads, args.write_pct,
+        config, args.lock, args.threads, args.write_pct,
         iters_per_thread=args.iters,
+        registry=registry, tracer=tracer,
+        sample_interval=args.sample_interval,
     )
     print(r)
     print(f"  fairness={r.fairness:.3f} acquire latency mean="
           f"{r.acquire_latency_mean:.0f} hub util={r.hub_utilisation:.2f}")
+    _obs_emit(
+        args, "microbench",
+        {
+            "lock": args.lock, "model": args.model,
+            "threads": args.threads, "write_pct": args.write_pct,
+            "iters_per_thread": args.iters,
+            "sample_interval": args.sample_interval,
+            "machine": dataclasses.asdict(config),
+        },
+        r, registry, tracer,
+    )
     return 0
 
 
 def cmd_stm(args) -> int:
+    config = _model(args.model)
+    registry, tracer = _obs_setup(args)
     r = run_stm_bench(
-        _model(args.model), args.variant, args.structure,
+        config, args.variant, args.structure,
         threads=args.threads, initial_size=args.size,
         txns_per_thread=args.txns,
+        registry=registry, tracer=tracer,
+        sample_interval=args.sample_interval,
     )
     print(r)
+    _obs_emit(
+        args, "stm",
+        {
+            "variant": args.variant, "structure": args.structure,
+            "model": args.model, "threads": args.threads,
+            "initial_size": args.size, "txns_per_thread": args.txns,
+            "sample_interval": args.sample_interval,
+            "machine": dataclasses.asdict(config),
+        },
+        r, registry, tracer,
+    )
     return 0
 
 
 def cmd_app(args) -> int:
-    r = run_app(_model(args.model), args.name, args.lock,
-                threads=args.threads, seeds=list(range(1, args.seeds + 1)))
+    config = _model(args.model)
+    registry, tracer = _obs_setup(args)
+    r = run_app(config, args.name, args.lock,
+                threads=args.threads, seeds=list(range(1, args.seeds + 1)),
+                registry=registry, tracer=tracer,
+                sample_interval=args.sample_interval)
     print(r)
+    _obs_emit(
+        args, "app",
+        {
+            "app": args.name, "lock": args.lock, "model": args.model,
+            "threads": args.threads, "seeds": args.seeds,
+            "sample_interval": args.sample_interval,
+            "machine": dataclasses.asdict(config),
+        },
+        r, registry, tracer,
+    )
     return 0
 
 
 def cmd_figure(args) -> int:
-    result = _FIGURES[args.name](args.scale)
+    registry, tracer = _obs_setup(args)
+    result = _FIGURES[args.name](
+        args.scale, registry=registry, tracer=tracer,
+        sample_interval=args.sample_interval,
+    )
     print(result.text)
+    _obs_emit(
+        args, "figure",
+        {
+            "figure": args.name, "scale": args.scale,
+            "sample_interval": args.sample_interval,
+        },
+        {
+            "figure": result.figure,
+            "xs": result.xs,
+            "series": result.series,
+            "checks": result.checks,
+        },
+        registry, tracer,
+    )
     if result.checks:
         ok = all(result.checks.values())
         print(f"shape checks [{'OK' if ok else 'MISMATCH'}]:",
               result.checks)
         return 0 if ok else 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json
+
+    try:
+        with open(args.file) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        validate_run_report(report)
+    except ReportValidationError as exc:
+        print(f"invalid run report {args.file}:", file=sys.stderr)
+        for err in exc.errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 1
+    print(summarize_run_report(report))
     return 0
 
 
@@ -124,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     mb.add_argument("--threads", type=int, default=16)
     mb.add_argument("--write-pct", type=int, default=100)
     mb.add_argument("--iters", type=int, default=150)
+    _add_obs_flags(mb)
     mb.set_defaults(fn=cmd_microbench)
 
     st = sub.add_parser("stm")
@@ -135,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--threads", type=int, default=8)
     st.add_argument("--size", type=int, default=512)
     st.add_argument("--txns", type=int, default=40)
+    _add_obs_flags(st)
     st.set_defaults(fn=cmd_stm)
 
     ap = sub.add_parser("app")
@@ -145,12 +292,18 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--model", default="A", choices=["A", "B"])
     ap.add_argument("--threads", type=int, default=0)
     ap.add_argument("--seeds", type=int, default=3)
+    _add_obs_flags(ap)
     ap.set_defaults(fn=cmd_app)
 
     fig = sub.add_parser("figure")
     fig.add_argument("name", choices=sorted(_FIGURES))
     fig.add_argument("--scale", type=int, default=1)
+    _add_obs_flags(fig)
     fig.set_defaults(fn=cmd_figure)
+
+    rp = sub.add_parser("report")
+    rp.add_argument("file", help="run-report JSON produced by --metrics-out")
+    rp.set_defaults(fn=cmd_report)
     return p
 
 

@@ -25,6 +25,7 @@ from typing import Dict, Generator, List
 from repro.cpu.machine import Machine
 from repro.cpu.os_sched import OS, SimThread
 from repro.locks.base import LockAlgorithm, get_algorithm
+from repro.obs.instrument import attach_machine_metrics, finish_run
 from repro.params import MachineConfig
 from repro.sim.stats import Accumulator
 
@@ -82,8 +83,15 @@ def run_app(
     threads: int = 0,
     seeds: List[int] = (1, 2, 3),
     max_cycles: int = 20_000_000_000,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> AppResult:
-    """Run one app kernel under one lock model, averaged over seeds."""
+    """Run one app kernel under one lock model, averaged over seeds.
+
+    ``registry`` accumulates machine counters across every seed;
+    ``tracer`` records message spans for the *first* seed only (one
+    coherent timeline beats three overlaid ones)."""
     try:
         app_cls = _APPS[app_name]
     except KeyError:
@@ -92,17 +100,23 @@ def run_app(
         ) from None
     threads = threads or app_cls.default_threads
     acc = Accumulator()
-    for seed in seeds:
+    for run_idx, seed in enumerate(seeds):
         machine = Machine(config)
         algo = get_algorithm(lock_name)(machine)
         app = app_cls(machine, algo, threads, seed)
         os_ = OS(machine)
+        if registry is not None:
+            attach_machine_metrics(machine, registry, sample_interval)
+        run_tracer = tracer if run_idx == 0 else None
+        if run_tracer is not None:
+            run_tracer.attach(machine)
         for i in range(threads):
             os_.spawn(
                 lambda t, i=i: app.worker(t, i), name=f"{app_name}-{i}"
             )
         elapsed = os_.run_all(max_cycles=max_cycles)
         acc.add(elapsed)
+        finish_run(machine, registry, run_tracer)
     return AppResult(
         app=app_name,
         lock=lock_name,

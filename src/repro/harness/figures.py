@@ -41,6 +41,21 @@ def _model(name: str, **overrides) -> MachineConfig:
     return model_a(**overrides) if name == "A" else model_b(**overrides)
 
 
+def _trace_once(tracer):
+    """Hand the tracer to the first run of a sweep only: one coherent
+    Perfetto timeline beats dozens of overlaid ones.  Returns a callable
+    yielding ``tracer`` once, then ``None``."""
+    state = {"used": False}
+
+    def take():
+        if tracer is None or state["used"]:
+            return None
+        state["used"] = True
+        return tracer
+
+    return take
+
+
 # --------------------------------------------------------------------- #
 # Figure 9: CS time, LCU vs SSB, both models, varying write ratio
 
@@ -51,10 +66,14 @@ def figure9(
     locks: Sequence[str] = ("lcu", "ssb"),
     iters_per_thread: int = 150,
     seed: int = 1,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> FigureResult:
     """CS execution time including lock transfer, LCU vs SSB (Fig 9)."""
     series: Dict[str, List[float]] = {}
     hub_util: Dict[str, float] = {}
+    take_tracer = _trace_once(tracer)
     for lock in locks:
         for w in write_ratios:
             key = f"{lock}-{w}%w"
@@ -63,6 +82,8 @@ def figure9(
                 r = run_microbench(
                     _model(model), lock, t, w,
                     iters_per_thread=iters_per_thread, seed=seed,
+                    registry=registry, tracer=take_tracer(),
+                    sample_interval=sample_interval,
                 )
                 vals.append(r.cycles_per_cs)
                 hub_util[key] = r.hub_utilisation
@@ -93,12 +114,16 @@ def figure10(
     iters_per_thread: int = 120,
     quantum: int = 50_000,
     seed: int = 1,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> FigureResult:
     """CS execution time, LCU vs software locks (Fig 10).  Thread counts
     above 32 oversubscribe the cores and expose the queue-lock
     preemption anomaly."""
     cfg_base = _model(model)
     series: Dict[str, List[float]] = {}
+    take_tracer = _trace_once(tracer)
     for lock in locks:
         ratios = write_ratios if lock in ("lcu", "mrsw", "ssb") else (100,)
         for w in ratios:
@@ -115,6 +140,8 @@ def figure10(
                 r = run_microbench(
                     cfg, lock, t, w,
                     iters_per_thread=iters_per_thread, seed=seed,
+                    registry=registry, tracer=take_tracer(),
+                    sample_interval=sample_interval,
                 )
                 vals.append(r.cycles_per_cs)
             series[key] = vals
@@ -152,11 +179,15 @@ def figure11(
     initial_size: int = 256,
     txns_per_thread: int = 40,
     seed: int = 1,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> FigureResult:
     """Transaction execution time and app/commit dissection for the
     RB-tree benchmark, 2^8 nodes, 75% read-only (Fig 11)."""
     series: Dict[str, List[float]] = {}
     dissect: Dict[str, List[str]] = {}
+    take_tracer = _trace_once(tracer)
     for v in variants:
         vals, parts = [], []
         for t in thread_counts:
@@ -164,6 +195,8 @@ def figure11(
                 _model(model), v, "rb", threads=t,
                 initial_size=initial_size,
                 txns_per_thread=txns_per_thread, seed=seed,
+                registry=registry, tracer=take_tracer(),
+                sample_interval=sample_interval,
             )
             vals.append(r.txn_cycles)
             parts.append(f"{r.app_cycles:.0f}+{r.commit_cycles:.0f}")
@@ -198,6 +231,9 @@ def figure12(
     sizes: Optional[Dict[str, int]] = None,
     txns_per_thread: int = 30,
     seed: int = 1,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> FigureResult:
     """Transaction execution time for RB-tree / skip list / hash table at
     16 threads, 75% read-only (Fig 12).  Paper sizes are 2^15 (rb/skip)
@@ -205,12 +241,15 @@ def figure12(
     sizes = sizes or {"rb": 2_048, "skip": 2_048, "hash": 8_192}
     structures = list(sizes)
     series: Dict[str, List[float]] = {v: [] for v in variants}
+    take_tracer = _trace_once(tracer)
     for structure in structures:
         for v in variants:
             r = run_stm_bench(
                 _model(model), v, structure, threads=threads,
                 initial_size=sizes[structure],
                 txns_per_thread=txns_per_thread, seed=seed,
+                registry=registry, tracer=take_tracer(),
+                sample_interval=sample_interval,
             )
             series[v].append(r.txn_cycles)
     text = render_series(
@@ -236,16 +275,22 @@ def figure13(
     locks: Sequence[str] = ("pthread", "lcu", "ssb"),
     seeds: Sequence[int] = (1, 2, 3),
     flt_entries: int = 0,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> FigureResult:
     """Application execution time, model A: Fluidanimate (32 threads),
     Cholesky (16), Radiosity (16) — pthread vs LCU vs SSB (Fig 13)."""
     apps = [("fluidanimate", 32), ("cholesky", 16), ("radiosity", 16)]
     series: Dict[str, List[float]] = {l: [] for l in locks}
     cis: Dict[str, List[float]] = {l: [] for l in locks}
+    take_tracer = _trace_once(tracer)
     for app, threads in apps:
         for lock in locks:
             cfg = model_a(flt_entries=flt_entries)
-            r = run_app(cfg, app, lock, threads=threads, seeds=list(seeds))
+            r = run_app(cfg, app, lock, threads=threads, seeds=list(seeds),
+                        registry=registry, tracer=take_tracer(),
+                        sample_interval=sample_interval)
             series[lock].append(r.elapsed_mean)
             cis[lock].append(r.elapsed_ci95)
     rows = [["app"] + [f"{l} (±95%)" for l in locks]]

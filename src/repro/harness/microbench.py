@@ -24,8 +24,9 @@ from repro.cpu import ops
 from repro.cpu.machine import Machine
 from repro.cpu.os_sched import OS
 from repro.locks.base import get_algorithm
+from repro.obs.instrument import attach_machine_metrics, finish_run
 from repro.params import MachineConfig
-from repro.sim.stats import Accumulator, jain_fairness
+from repro.sim.stats import Histogram, jain_fairness
 
 
 @dataclasses.dataclass
@@ -45,6 +46,9 @@ class MicrobenchResult:
     hub_utilisation: float
     writer_cs: int = 0
     reader_cs: int = 0
+    acquire_latency_p50: float = 0.0
+    acquire_latency_p95: float = 0.0
+    acquire_latency_p99: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (
@@ -66,6 +70,9 @@ def run_microbench(
     duration: int = 400_000,
     fixed_roles: bool = False,
     max_cycles: int = 2_000_000_000,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> MicrobenchResult:
     """Run the single-lock critical-section benchmark.
 
@@ -73,6 +80,12 @@ def run_microbench(
     write, unless ``fixed_roles`` is set, in which case the first
     ``round(threads * write_pct / 100)`` threads are permanent writers
     and the rest permanent readers (used for starvation measurements).
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) collects machine
+    counters and the acquire-latency histogram; ``tracer`` (a
+    :class:`repro.obs.SpanTracer`) records per-thread acquire / CS spans
+    and network message spans.  Both default to off and cost nothing
+    when absent.
     """
     if mode not in ("iterations", "duration"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -81,16 +94,22 @@ def run_microbench(
     algo = get_algorithm(lock_name)(machine)
     handle = algo.make_lock()
 
+    if registry is not None:
+        attach_machine_metrics(machine, registry, sample_interval)
+    if tracer is not None:
+        tracer.attach(machine)
+
     per_thread_cs = [0] * threads
     writer_cs = [0]
     reader_cs = [0]
-    acquire_lat = Accumulator()
+    acquire_lat = Histogram(bucket_width=32)
     n_writers = round(threads * write_pct / 100.0)
 
     def worker_factory(index: int):
         def worker(thread):
             rng = random.Random(seed * 7919 + index)
             sim = machine.sim
+            track = f"thread {index}"
 
             def one_iteration():
                 if fixed_roles:
@@ -98,10 +117,19 @@ def run_microbench(
                 else:
                     write = rng.random() * 100 < write_pct
                 t0 = sim.now
+                if tracer is not None:
+                    sid = tracer.begin(
+                        "acquire", cat="lock", track=track, write=write
+                    )
                 yield from algo.lock(thread, handle, write)
                 acquire_lat.add(sim.now - t0)
+                if tracer is not None:
+                    tracer.end(sid)
+                    sid = tracer.begin("cs", cat="lock", track=track)
                 yield ops.Compute(cs_cycles)
                 yield from algo.unlock(thread, handle, write)
+                if tracer is not None:
+                    tracer.end(sid)
                 per_thread_cs[index] += 1
                 if write:
                     writer_cs[0] += 1
@@ -122,9 +150,22 @@ def run_microbench(
     for i in range(threads):
         os_.spawn(worker_factory(i))
     elapsed = os_.run_all(max_cycles=max_cycles)
+    if registry is not None:
+        # the self-rescheduling sample tick would otherwise keep the
+        # event queue busy and force drain() to its cycle cap
+        registry.sample(machine.sim.now)
+        registry.stop_sampling()
     machine.drain()
 
     total = sum(per_thread_cs)
+    if registry is not None:
+        registry.counter("bench.total_cs").inc(total)
+        registry.counter("bench.writer_cs").inc(writer_cs[0])
+        registry.counter("bench.reader_cs").inc(reader_cs[0])
+        registry.histogram(
+            "bench.acquire_latency", bucket_width=acquire_lat.bucket_width
+        ).merge(acquire_lat)
+    finish_run(machine, registry, tracer)
     return MicrobenchResult(
         lock=lock_name,
         model=config.name,
@@ -133,12 +174,15 @@ def run_microbench(
         total_cs=total,
         elapsed=elapsed,
         cycles_per_cs=elapsed / total if total else float("inf"),
-        acquire_latency_mean=acquire_lat.mean,
+        acquire_latency_mean=acquire_lat.acc.mean,
         per_thread_cs=per_thread_cs,
         fairness=jain_fairness(per_thread_cs),
         hub_utilisation=machine.net.hub_utilisation(),
         writer_cs=writer_cs[0],
         reader_cs=reader_cs[0],
+        acquire_latency_p50=acquire_lat.percentile(50),
+        acquire_latency_p95=acquire_lat.percentile(95),
+        acquire_latency_p99=acquire_lat.percentile(99),
     )
 
 

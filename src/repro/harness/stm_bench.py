@@ -20,6 +20,7 @@ from typing import Dict, List
 from repro.cpu import ops
 from repro.cpu.machine import Machine
 from repro.cpu.os_sched import OS
+from repro.obs.instrument import attach_machine_metrics, finish_run
 from repro.params import MachineConfig
 from repro.stm.core import ObjectSTM
 from repro.stm.direct import populate
@@ -46,6 +47,7 @@ class StmBenchResult:
     app_cycles: float            # dissection: application phase
     commit_cycles: float         # dissection: commit phase
     abort_rate: float
+    abort_reasons: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (
@@ -66,12 +68,23 @@ def run_stm_bench(
     txns_per_thread: int = 40,
     seed: int = 1,
     max_cycles: int = 20_000_000_000,
+    registry=None,
+    tracer=None,
+    sample_interval: int = 0,
 ) -> StmBenchResult:
-    """Run one STM benchmark configuration and return its result."""
+    """Run one STM benchmark configuration and return its result.
+
+    ``registry`` / ``tracer`` enable telemetry (machine counters, STM
+    abort breakdown, per-thread transaction spans); both are off by
+    default and cost nothing when absent."""
     if structure not in STRUCTURES:
         raise ValueError(f"unknown structure {structure!r}")
     machine = Machine(config)
     stm = ObjectSTM(machine, variant)
+    if registry is not None:
+        attach_machine_metrics(machine, registry, sample_interval)
+    if tracer is not None:
+        tracer.attach(machine)
     if structure == "hash":
         struct = HashTable(stm, buckets=max(16, initial_size // 4))
     else:
@@ -85,16 +98,24 @@ def run_stm_bench(
     def worker_factory(index: int):
         def worker(thread):
             rng = random.Random(seed * 50_021 + index)
+            track = f"thread {index}"
             for _ in range(txns_per_thread):
                 r = rng.random() * 100
                 key = rng.randrange(key_range)
                 if r < read_pct:
                     body = lambda tx, k=key: struct.contains(tx, k)  # noqa: E731
+                    op = "lookup"
                 elif r < read_pct + (100 - read_pct) / 2:
                     body = lambda tx, k=key: struct.insert(tx, k)  # noqa: E731
+                    op = "insert"
                 else:
                     body = lambda tx, k=key: struct.remove(tx, k)  # noqa: E731
+                    op = "remove"
+                if tracer is not None:
+                    sid = tracer.begin("txn", cat="stm", track=track, op=op)
                 yield from stm.run(thread, body)
+                if tracer is not None:
+                    tracer.end(sid)
                 committed[0] += 1
                 yield ops.Compute(rng.randint(1, 30))
 
@@ -103,10 +124,17 @@ def run_stm_bench(
     for i in range(threads):
         os_.spawn(worker_factory(i))
     elapsed = os_.run_all(max_cycles=max_cycles)
+    if registry is not None:
+        # stop the sample tick so drain() can actually drain
+        registry.sample(machine.sim.now)
+        registry.stop_sampling()
     machine.drain()
 
     txns = committed[0]
     s = stm.stats
+    if registry is not None:
+        registry.counter("bench.txns").inc(txns)
+    finish_run(machine, registry, tracer, stm=stm)
     return StmBenchResult(
         variant=variant,
         structure=structure,
@@ -118,6 +146,7 @@ def run_stm_bench(
         app_cycles=s.app_cycles / max(1, s.commits),
         commit_cycles=s.commit_cycles / max(1, s.commits),
         abort_rate=s.abort_rate,
+        abort_reasons=dict(s.abort_reasons),
     )
 
 

@@ -78,6 +78,8 @@ class LockControlUnit:
             "alloc_failures": 0, "retries_received": 0,
             "remote_releases_served": 0, "fwd_nacks": 0,
         }
+        #: most entries simultaneously in use (table-pressure telemetry)
+        self.entries_highwater = 0
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -143,6 +145,8 @@ class LockControlUnit:
             return None
         e = LcuEntry(addr, tid, write, kind)
         self._entries[(addr, tid)] = e
+        if len(self._entries) > self.entries_highwater:
+            self.entries_highwater = len(self._entries)
         return e
 
     def _free(self, e: LcuEntry) -> None:

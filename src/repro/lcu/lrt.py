@@ -95,6 +95,7 @@ class LockReservationTable:
         # set index -> OrderedDict[addr, LrtEntry] (LRU order)
         self._sets: Dict[int, "OrderedDict[int, LrtEntry]"] = {}
         self._overflow: Dict[int, LrtEntry] = {}   # "in main memory"
+        self._live = 0                             # entries in table + overflow
         self._server = Server(sim, f"lrt{lrt_id}")
         self._remote_retry: Dict[Tuple[int, int, int], int] = {}
 
@@ -104,6 +105,9 @@ class LockReservationTable:
             "refills": 0, "reservations": 0, "head_notifies": 0,
             "stale_notifies": 0, "remote_releases": 0,
         }
+        #: most locks simultaneously live (table + overflow) — the
+        #: occupancy telemetry behind the spill/refill behaviour
+        self.live_locks_highwater = 0
 
     # ------------------------------------------------------------------ #
     # table management
@@ -156,6 +160,9 @@ class LockReservationTable:
             self._touch_memory()
         else:
             e = LrtEntry(addr)
+            self._live += 1
+            if self._live > self.live_locks_highwater:
+                self.live_locks_highwater = self._live
         if len(s) >= self._config.lrt_assoc:
             victim_addr, victim = s.popitem(last=False)
             self._overflow[victim_addr] = victim
@@ -171,8 +178,10 @@ class LockReservationTable:
             self._memory_touch(self.lrt_id, lambda: None)
 
     def _remove(self, addr: int) -> None:
-        self._set_of(addr).pop(addr, None)
-        self._overflow.pop(addr, None)
+        in_set = self._set_of(addr).pop(addr, None)
+        in_ovf = self._overflow.pop(addr, None)
+        if in_set is not None or in_ovf is not None:
+            self._live -= 1
 
     @property
     def live_locks(self) -> int:

@@ -108,6 +108,12 @@ class MemorySystem:
         self.l1_hits = 0
         self.l1_misses = 0
         self.invalidations = 0
+        self.owner_forwards = 0
+
+    @property
+    def dir_servers(self):
+        """Directory-slice servers, for the telemetry layer."""
+        return list(self._dir_servers)
 
     # ------------------------------------------------------------------ #
     # address helpers
@@ -248,6 +254,7 @@ class MemorySystem:
         if kind == READ:
             if ls.owner is not None and ls.owner != core:
                 # forward to owner + cache-to-cache transfer: one extra hop
+                self.owner_forwards += 1
                 extra = self._net.latency_estimate(
                     home_ep, self._core_ep(ls.owner)
                 )

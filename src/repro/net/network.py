@@ -147,7 +147,20 @@ class Network:
         step(0)
 
     # ------------------------------------------------------------------ #
-    # introspection used by the harness
+    # introspection used by the harness and the telemetry layer
+
+    def fabric_servers(self):
+        """Yield ``(group, label, Server)`` for every fabric resource —
+        the telemetry layer's inventory (``repro.obs.instrument``)."""
+        for ep in sorted(self._access):
+            yield ("access", f"{ep[0]}{ep[1]}", self._access[ep])
+        for c in sorted(self._crossbars):
+            yield ("xbar", str(c), self._crossbars[c])
+        for c in sorted(self._hub_out):
+            yield ("hub_out", str(c), self._hub_out[c])
+        for c in sorted(self._hub_in):
+            yield ("hub_in", str(c), self._hub_in[c])
+        yield ("root", "", self._root)
 
     def hub_utilisation(self) -> float:
         """Mean utilisation of the inter-chip hub links (Model B)."""

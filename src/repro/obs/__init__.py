@@ -1,0 +1,47 @@
+"""repro.obs — unified telemetry: metrics, spans, machine-readable reports.
+
+The observability layer of the reproduction (see README "Observability"):
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`: hierarchical
+  counters / gauges / histograms with deterministic time-series gauge
+  sampling driven by simulator events.
+* :mod:`repro.obs.spans` — :class:`SpanTracer`: interval tracing
+  (lock-held windows, message flights, transactions) exported as Chrome
+  trace-event JSON, loadable in Perfetto.
+* :mod:`repro.obs.report` — the versioned ``RunReport`` JSON schema the
+  harness emits (``--metrics-out``) and the CLI validates
+  (``python -m repro report``).
+* :mod:`repro.obs.instrument` — attaches gauges to a live machine and
+  harvests every component's counters after a run; all instrumentation
+  is pull-based, so uninstrumented runs pay nothing.
+"""
+
+from repro.obs.instrument import (
+    attach_machine_metrics,
+    finish_run,
+    harvest_machine_metrics,
+    harvest_stm_metrics,
+)
+from repro.obs.registry import Counter, Gauge, MetricError, MetricsRegistry
+from repro.obs.report import (
+    RUN_REPORT_KINDS,
+    RUN_REPORT_SCHEMA,
+    RUN_REPORT_VERSION,
+    ReportValidationError,
+    build_run_report,
+    load_run_report,
+    summarize_run_report,
+    validate_run_report,
+    write_run_report,
+)
+from repro.obs.spans import Span, SpanError, SpanTracer, validate_chrome_trace
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "MetricError",
+    "SpanTracer", "Span", "SpanError", "validate_chrome_trace",
+    "build_run_report", "validate_run_report", "write_run_report",
+    "load_run_report", "summarize_run_report", "ReportValidationError",
+    "RUN_REPORT_SCHEMA", "RUN_REPORT_VERSION", "RUN_REPORT_KINDS",
+    "attach_machine_metrics", "harvest_machine_metrics",
+    "harvest_stm_metrics", "finish_run",
+]

@@ -1,0 +1,204 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+The registry is the collection point of the telemetry subsystem
+(`repro.obs`).  Metric names are hierarchical dotted paths
+(``lcu.core3.acquires``, ``net.hub_out1.busy_cycles``) so reports group
+naturally by subsystem.  Three metric kinds:
+
+* :class:`Counter` — a monotonically increasing integer/float.  The
+  instrumentation layer (:mod:`repro.obs.instrument`) *pulls* most
+  counters out of the components' existing ad-hoc stats at harvest time,
+  so an un-instrumented run pays nothing.
+* :class:`Gauge` — a point-in-time value, either set explicitly or read
+  through a callback.  Gauges can be *sampled* periodically on the
+  simulator clock, producing deterministic time series (same seed, same
+  series).
+* Histograms reuse :class:`repro.sim.stats.Histogram`, so harness
+  latency distributions merge across seeds and export percentile
+  summaries.
+
+Zero-cost contract: nothing in the simulator references a registry
+unless one is explicitly attached; sampling schedules simulator events
+only while :meth:`MetricsRegistry.start_sampling` is active.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.stats import Histogram
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_]+([.\-][A-Za-z0-9_\-]+)*$")
+
+
+class MetricError(ValueError):
+    """Illegal metric registration (bad name, kind collision, ...)."""
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise MetricError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Point-in-time value, explicit (:meth:`set`) or callback-backed."""
+
+    __slots__ = ("name", "fn", "_value")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self.fn = fn
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.fn = None
+        self._value = value
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name})"
+
+
+class MetricsRegistry:
+    """Hierarchically named counters/gauges/histograms + gauge sampling."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: gauge name -> list of (sim time, value) samples
+        self.series: Dict[str, List[Tuple[int, float]]] = {}
+        self._sample_gen = 0          # invalidates in-flight sample events
+        self._sampling = False
+
+    # ------------------------------------------------------------------ #
+    # registration
+
+    def _check_name(self, name: str, kind: str) -> None:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        others = {
+            "counter": (self._gauges, self._histograms),
+            "gauge": (self._counters, self._histograms),
+            "histogram": (self._counters, self._gauges),
+        }[kind]
+        for table in others:
+            if name in table:
+                raise MetricError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            self._check_name(name, "counter")
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        """Get or create the gauge ``name``.  Passing ``fn`` (re)binds the
+        callback — instrumentation re-binds gauges when a harness runs
+        several machines under one registry."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_name(name, "gauge")
+            g = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            g.fn = fn
+        return g
+
+    def histogram(self, name: str, bucket_width: int = 100) -> Histogram:
+        """Get or create the histogram ``name``.  A second registration
+        must use the same bucket width (buckets could not merge)."""
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_name(name, "histogram")
+            h = self._histograms[name] = Histogram(bucket_width=bucket_width)
+        elif h.bucket_width != bucket_width:
+            raise MetricError(
+                f"histogram {name!r} registered with bucket_width="
+                f"{h.bucket_width}, requested {bucket_width}"
+            )
+        return h
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    # ------------------------------------------------------------------ #
+    # sampling
+
+    def sample(self, now: int) -> None:
+        """Record one (now, value) point for every registered gauge."""
+        for name in sorted(self._gauges):
+            self.series.setdefault(name, []).append(
+                (now, self._gauges[name].read())
+            )
+
+    def start_sampling(self, sim, interval: int) -> None:
+        """Sample all gauges every ``interval`` cycles of ``sim``.  The
+        schedule lives on the simulator's event queue; call
+        :meth:`stop_sampling` (or attach to a fresh simulator) to stop.
+        The first sample fires ``interval`` cycles from now."""
+        if interval <= 0:
+            raise MetricError(f"sample interval must be positive: {interval}")
+        self._sample_gen += 1
+        self._sampling = True
+        gen = self._sample_gen
+
+        def tick() -> None:
+            if not self._sampling or self._sample_gen != gen:
+                return
+            self.sample(sim.now)
+            sim.after(interval, tick)
+
+        sim.after(interval, tick)
+
+    def stop_sampling(self) -> None:
+        self._sampling = False
+        self._sample_gen += 1
+
+    # ------------------------------------------------------------------ #
+    # export
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump: the ``metrics`` section of a RunReport."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.read() for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+            "series": {
+                name: [[t, v] for t, v in pts]
+                for name, pts in sorted(self.series.items())
+            },
+        }

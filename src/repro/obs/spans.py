@@ -1,0 +1,269 @@
+"""Structured span tracing with Chrome trace-event export.
+
+A :class:`SpanTracer` records *intervals* — lock-held windows, message
+flights, transaction attempts — on named tracks, complementing the
+point-record :class:`repro.sim.trace.Tracer`.  Completed traces export
+to the Chrome trace-event JSON format, so a run opens directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+    tracer = SpanTracer()
+    tracer.attach(machine)            # message-flight spans + timebase
+    ... run ...
+    tracer.write_chrome_trace("t.json")
+
+Spans are opened with :meth:`begin` (returns an id) and closed with
+:meth:`end`; the id indirection works across generator-based thread
+programs where ``with`` blocks cannot span ``yield`` points.  Open/close
+mismatches raise :class:`SpanError`, and :meth:`check_closed` audits a
+finished run.  Timestamps are simulator cycles (shown as microseconds by
+trace viewers; the scale is faithful, the unit label is not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.sim.trace import _ep
+
+
+class SpanError(RuntimeError):
+    """Span protocol misuse: unknown id, double close, leftover spans."""
+
+
+@dataclasses.dataclass
+class Span:
+    """One closed (or still-open) interval on a track."""
+
+    name: str
+    cat: str
+    track: Any
+    start: int
+    end: Optional[int] = None
+    args: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        if self.end is None:
+            raise SpanError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+
+class SpanTracer:
+    """Collects spans against a simulator clock; exports Chrome JSON."""
+
+    def __init__(self, sim=None, capacity: int = 1_000_000) -> None:
+        self._sim = sim
+        self.capacity = capacity
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._open: Dict[int, Span] = {}
+        self._next_id = 1
+        self._net = None
+        self._wrapper = None
+        self._original = None
+
+    # ------------------------------------------------------------------ #
+    # clock binding / network attachment
+
+    def bind(self, sim) -> None:
+        """Use ``sim`` as the timebase for ts-less begin/end calls."""
+        self._sim = sim
+
+    def _now(self, ts: Optional[int]) -> int:
+        if ts is not None:
+            return ts
+        if self._sim is None:
+            raise SpanError("SpanTracer has no simulator bound; pass ts=")
+        return self._sim.now
+
+    def attach(self, machine, message_spans: bool = True) -> "SpanTracer":
+        """Bind to ``machine``'s clock and (optionally) wrap ``net.send``
+        so every network message becomes a ``net`` -category span from
+        injection to delivery.  Uses the same LIFO wrapper discipline as
+        :class:`repro.sim.trace.Tracer`; call :meth:`detach` to unwind.
+        Attaching to a second machine detaches from the first."""
+        if self._net is not None:
+            self.detach()
+        self.bind(machine.sim)
+        if not message_spans:
+            return self
+        net = machine.net
+        original = net.send
+
+        def traced_send(src, dst, payload, on_deliver=None):
+            sid = self.begin(
+                type(payload).__name__ if not isinstance(payload, tuple)
+                else str(payload[0]),
+                cat="net",
+                track=f"net {_ep(src)}",
+                dst=_ep(dst),
+            )
+
+            def close(prev=on_deliver):
+                self.end(sid)
+                if prev is not None:
+                    prev()
+
+            return original(src, dst, payload, close)
+
+        net.send = traced_send
+        self._net = net
+        self._wrapper = traced_send
+        self._original = original
+        return self
+
+    def detach(self) -> None:
+        """Unwrap ``net.send``.  Idempotent; raises if detached out of
+        LIFO order (another wrapper sits on top)."""
+        if self._net is None:
+            return
+        if self._net.send is not self._wrapper:
+            raise RuntimeError(
+                "SpanTracer.detach out of order: another wrapper is "
+                "attached on top; detach in LIFO order"
+            )
+        self._net.send = self._original
+        self._net = self._wrapper = self._original = None
+
+    # ------------------------------------------------------------------ #
+    # span protocol
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "",
+        track: Any = 0,
+        ts: Optional[int] = None,
+        **args: Any,
+    ) -> int:
+        """Open a span; returns its id for :meth:`end`."""
+        sid = self._next_id
+        self._next_id += 1
+        self._open[sid] = Span(name, cat, track, self._now(ts), args=args)
+        return sid
+
+    def end(self, sid: int, ts: Optional[int] = None, **args: Any) -> Span:
+        """Close span ``sid``.  Raises :class:`SpanError` for unknown ids
+        (including ids already closed)."""
+        span = self._open.pop(sid, None)
+        if span is None:
+            raise SpanError(f"end of unknown or already-closed span id {sid}")
+        span.end = self._now(ts)
+        if args:
+            span.args.update(args)
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "",
+        track: Any = 0,
+        ts: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        """Record a zero-duration marker."""
+        t = self._now(ts)
+        span = Span(name, cat, track, t, t, args)
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def check_closed(self) -> None:
+        """Raise :class:`SpanError` naming any spans left open — run this
+        after a harness completes to catch instrumentation bugs."""
+        if self._open:
+            names = sorted({s.name for s in self._open.values()})
+            raise SpanError(
+                f"{len(self._open)} span(s) left open: {names[:10]}"
+            )
+
+    def abandon_open(self) -> int:
+        """Drop any still-open spans (in-flight messages at the end of a
+        bounded drain); returns how many were dropped."""
+        n = len(self._open)
+        self._open.clear()
+        return n
+
+    # ------------------------------------------------------------------ #
+    # export
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Render closed spans as a Chrome trace-event JSON object
+        (Perfetto-loadable): one ``X`` (complete) event per span, plus
+        ``M`` metadata naming the process and each track."""
+        tracks: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = [
+            {
+                "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+                "args": {"name": "repro simulation"},
+            }
+        ]
+
+        def tid_of(track: Any) -> int:
+            key = str(track)
+            tid = tracks.get(key)
+            if tid is None:
+                tid = tracks[key] = len(tracks) + 1
+                events.append({
+                    "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                    "args": {"name": key},
+                })
+            return tid
+
+        for s in self.spans:
+            events.append({
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat or "default",
+                "pid": 0,
+                "tid": tid_of(s.track),
+                "ts": s.start,
+                "dur": s.duration,
+                "args": s.args,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock_unit": "cycles", "dropped_spans": self.dropped},
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f, indent=1, sort_keys=True)
+            f.write("\n")
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Structural check of a Chrome trace-event JSON object; raises
+    ``ValueError`` describing the first problem found."""
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace missing 'traceEvents' list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "I"):
+            raise ValueError(f"traceEvents[{i}]: unsupported phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"traceEvents[{i}]: missing int {key!r}")
+        if ph == "X":
+            for key in ("name", "ts", "dur"):
+                if key not in ev:
+                    raise ValueError(f"traceEvents[{i}]: missing {key!r}")
+            if ev["dur"] < 0:
+                raise ValueError(f"traceEvents[{i}]: negative duration")

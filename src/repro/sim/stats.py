@@ -32,6 +32,30 @@ class Accumulator:
         for x in xs:
             self.add(x)
 
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Fold ``other``'s samples into this accumulator (Chan et al.'s
+        parallel combine), so multi-seed harness runs can merge statistics
+        without re-streaming raw values.  Returns ``self``."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.total += other.total
+        self.min = min(self.min, other.min)  # type: ignore[type-var]
+        self.max = max(self.max, other.max)  # type: ignore[type-var]
+        return self
+
     @property
     def mean(self) -> float:
         return self._mean if self.n else 0.0
@@ -85,14 +109,43 @@ class Histogram:
         b = int(x // self.bucket_width)
         self.buckets[b] = self.buckets.get(b, 0) + 1
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s buckets and moments into this histogram.
+        Both histograms must share the same bucket width."""
+        if other.bucket_width != self.bucket_width:
+            raise ValueError(
+                f"cannot merge histograms with bucket widths "
+                f"{self.bucket_width} and {other.bucket_width}"
+            )
+        for b, count in other.buckets.items():
+            self.buckets[b] = self.buckets.get(b, 0) + count
+        self.acc.merge(other.acc)
+        return self
+
     def percentile(self, p: float) -> float:
-        """Approximate percentile (bucket upper bound), p in [0, 100]."""
+        """Approximate percentile, p in [0, 100], interpolating linearly
+        within the bucket the target rank falls into."""
         if not self.buckets:
             return 0.0
         target = self.acc.n * p / 100.0
         seen = 0
         for b in sorted(self.buckets):
-            seen += self.buckets[b]
-            if seen >= target:
-                return (b + 1) * self.bucket_width
+            count = self.buckets[b]
+            if seen + count >= target:
+                frac = (target - seen) / count if count else 1.0
+                return (b + max(0.0, min(1.0, frac))) * self.bucket_width
+            seen += count
         return (max(self.buckets) + 1) * self.bucket_width
+
+    def summary(self, percentiles: Iterable[float] = (50, 90, 95, 99)) -> Dict:
+        """JSON-friendly summary used by run reports."""
+        return {
+            "count": self.acc.n,
+            "mean": self.acc.mean,
+            "min": self.acc.min if self.acc.min is not None else 0.0,
+            "max": self.acc.max if self.acc.max is not None else 0.0,
+            "bucket_width": self.bucket_width,
+            "percentiles": {
+                f"p{g:g}": self.percentile(g) for g in percentiles
+            },
+        }

@@ -50,14 +50,21 @@ class Tracer:
         self.addr_filter = addr_filter
         self.type_filter = type_filter
         self.dropped = 0
-        self._detach = None
+        self._net = None
+        self._wrapper = None
+        self._original = None
 
     # ------------------------------------------------------------------ #
 
     @classmethod
     def attach(cls, machine, **kwargs) -> "Tracer":
         """Wrap ``machine.net.send`` to record matching messages.  Call
-        :meth:`detach` to restore the original send."""
+        :meth:`detach` to restore the original send.
+
+        Tracers nest: attaching a second tracer wraps the first one's
+        wrapper, and detaching must happen in LIFO order.  Detaching out
+        of order raises instead of silently leaving a stale wrapper
+        installed (the historical behaviour)."""
         tracer = cls(**kwargs)
         net = machine.net
         original = net.send
@@ -67,13 +74,27 @@ class Tracer:
             return original(src, dst, payload, on_deliver)
 
         net.send = traced_send
-        tracer._detach = lambda: setattr(net, "send", original)
+        tracer._net = net
+        tracer._wrapper = traced_send
+        tracer._original = original
         return tracer
 
+    @property
+    def attached(self) -> bool:
+        return self._net is not None
+
     def detach(self) -> None:
-        if self._detach is not None:
-            self._detach()
-            self._detach = None
+        """Restore the ``send`` this tracer wrapped.  Idempotent; raises
+        if another wrapper was attached on top and not yet detached."""
+        if self._net is None:
+            return
+        if self._net.send is not self._wrapper:
+            raise RuntimeError(
+                "Tracer.detach out of order: another wrapper is attached "
+                "on top of this tracer; detach tracers in LIFO order"
+            )
+        self._net.send = self._original
+        self._net = self._wrapper = self._original = None
 
     # ------------------------------------------------------------------ #
 

@@ -61,6 +61,11 @@ class SSB:
             "table_full": 0,
         }
 
+    @property
+    def servers(self):
+        """Per-bank pipeline servers, for the telemetry layer."""
+        return list(self._servers)
+
     def _home(self, addr: int) -> int:
         return (addr // self._config.line_size) % self._config.num_lrts
 

@@ -36,7 +36,14 @@ from repro.locks.base import get_algorithm
 
 
 class AbortTx(Exception):
-    """Raised inside a transaction body to force a retry (conflict)."""
+    """Raised inside a transaction body to force a retry (conflict).
+
+    ``reason`` feeds the per-reason abort breakdown in
+    :class:`StmStats.abort_reasons` (telemetry)."""
+
+    def __init__(self, reason: str = "explicit") -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 class TooManyRetries(RuntimeError):
@@ -69,6 +76,13 @@ class StmStats:
     commit_cycles: int = 0
     reads: int = 0
     writes: int = 0
+    #: abort reason -> count ("stale-read", "stale-write",
+    #: "commit-validation", "explicit")
+    abort_reasons: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def count_abort(self, reason: str) -> None:
+        self.aborts += 1
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
 
     @property
     def abort_rate(self) -> float:
@@ -153,8 +167,8 @@ class ObjectSTM:
             t0 = sim.now
             try:
                 result = yield from body(tx)
-            except AbortTx:
-                self.stats.aborts += 1
+            except AbortTx as abort:
+                self.stats.count_abort(abort.reason)
                 self.stats.app_cycles += sim.now - t0
                 yield ops.Compute(self._backoff_of(attempt))
                 continue
@@ -165,7 +179,7 @@ class ObjectSTM:
             if ok:
                 self.stats.commits += 1
                 return result
-            self.stats.aborts += 1
+            self.stats.count_abort("commit-validation")
             yield ops.Compute(self._backoff_of(attempt))
         raise TooManyRetries(
             f"transaction aborted {max_retries} times ({self.variant})"
@@ -260,7 +274,7 @@ class Tx:
             if obj.version > self.start_clock or (
                 obj.commit_locked not in (None, self.tx_id)
             ):
-                raise AbortTx()
+                raise AbortTx("stale-read")
             self.reads[obj] = obj.version
         return obj.value
 
@@ -273,7 +287,7 @@ class Tx:
             if obj.version > self.start_clock or (
                 obj.commit_locked not in (None, self.tx_id)
             ):
-                raise AbortTx()
+                raise AbortTx("stale-write")
             self.reads[obj] = obj.version
         self.writes[obj] = value
 

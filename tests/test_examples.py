@@ -53,6 +53,16 @@ class TestExamples:
         assert "lcu + FLT" in out
         assert "pthread" in out
 
+    def test_telemetry_demo(self, tmp_path):
+        out = run_example(
+            "telemetry_demo.py", "--threads", "4", "--iters", "15",
+            "--outdir", str(tmp_path),
+        )
+        assert "artifacts OK" in out
+        assert "RunReport kind=microbench" in out
+        assert (tmp_path / "metrics.json").exists()
+        assert (tmp_path / "trace.json").exists()
+
     def test_protocol_walkthrough(self):
         out = run_example("protocol_walkthrough.py")
         assert "Figure 4" in out and "Figure 5" in out and "Figure 6" in out

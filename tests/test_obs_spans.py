@@ -1,0 +1,191 @@
+"""Unit tests for span tracing (repro.obs.spans) and the Tracer
+attach/detach discipline fix (repro.sim.trace)."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.os_sched import OS
+from repro.locks.base import get_algorithm
+from repro.obs import SpanError, SpanTracer, validate_chrome_trace
+from repro.params import small_test_model
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class TestSpanProtocol:
+    def test_begin_end(self):
+        sim = Simulator()
+        t = SpanTracer(sim)
+        sid = t.begin("work", cat="test", track="t0", key=1)
+        sim.at(50, lambda: None)
+        sim.run()
+        span = t.end(sid, extra=2)
+        assert span.start == 0 and span.end == 50 and span.duration == 50
+        assert span.args == {"key": 1, "extra": 2}
+        assert t.spans == [span]
+
+    def test_end_unknown_id(self):
+        t = SpanTracer(Simulator())
+        with pytest.raises(SpanError):
+            t.end(99)
+
+    def test_double_end(self):
+        t = SpanTracer(Simulator())
+        sid = t.begin("x")
+        t.end(sid)
+        with pytest.raises(SpanError):
+            t.end(sid)
+
+    def test_check_closed_detects_leaks(self):
+        t = SpanTracer(Simulator())
+        t.begin("leaky")
+        assert t.open_count == 1
+        with pytest.raises(SpanError, match="leaky"):
+            t.check_closed()
+        assert t.abandon_open() == 1
+        t.check_closed()  # now clean
+
+    def test_duration_of_open_span_raises(self):
+        t = SpanTracer(Simulator())
+        sid = t.begin("x")
+        with pytest.raises(SpanError):
+            _ = t._open[sid].duration
+
+    def test_no_sim_requires_explicit_ts(self):
+        t = SpanTracer()
+        with pytest.raises(SpanError):
+            t.begin("x")
+        sid = t.begin("x", ts=5)
+        span = t.end(sid, ts=9)
+        assert span.duration == 4
+
+    def test_capacity_drops(self):
+        t = SpanTracer(Simulator(), capacity=1)
+        t.end(t.begin("a"))
+        t.end(t.begin("b"))
+        assert len(t.spans) == 1 and t.dropped == 1
+
+
+class TestChromeExport:
+    def test_export_structure(self):
+        t = SpanTracer(Simulator())
+        t.end(t.begin("op", cat="lock", track="thread 0"))
+        t.instant("mark", track="thread 1")
+        obj = t.to_chrome_trace()
+        validate_chrome_trace(obj)
+        phases = [e["ph"] for e in obj["traceEvents"]]
+        # process_name + two thread_name metadata + two X events
+        assert phases.count("M") == 3 and phases.count("X") == 2
+        names = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"thread 0", "thread 1"}
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "pid": 0, "tid": 1}]}
+            )
+
+
+def _run_one_cs(machine):
+    os_ = OS(machine)
+    algo = get_algorithm("lcu")(machine)
+    handle = algo.make_lock()
+
+    def worker(thread):
+        yield from algo.lock(thread, handle, True)
+        yield from algo.unlock(thread, handle, True)
+
+    os_.spawn(worker)
+    os_.run_all()
+
+
+class TestMessageSpans:
+    def test_attach_records_message_spans(self):
+        machine = Machine(small_test_model())
+        t = SpanTracer()
+        t.attach(machine)
+        _run_one_cs(machine)
+        machine.drain()
+        t.abandon_open()
+        t.detach()
+        net_spans = [s for s in t.spans if s.cat == "net"]
+        assert net_spans, "no message spans recorded"
+        assert all(s.duration >= 0 for s in net_spans)
+        validate_chrome_trace(t.to_chrome_trace())
+
+    def test_detach_restores_send(self):
+        machine = Machine(small_test_model())
+        original = machine.net.send
+        t = SpanTracer()
+        t.attach(machine)
+        assert machine.net.send != original
+        t.detach()
+        assert machine.net.send == original
+        t.detach()  # idempotent
+
+    def test_detach_out_of_order_raises(self):
+        machine = Machine(small_test_model())
+        t1, t2 = SpanTracer(), SpanTracer()
+        t1.attach(machine)
+        t2.attach(machine)
+        with pytest.raises(RuntimeError, match="LIFO"):
+            t1.detach()
+        t2.detach()
+        t1.detach()
+
+
+class TestTracerDetachFix:
+    """The satellite fix: repro.sim.trace.Tracer used to restore a
+    captured ``send`` unconditionally, silently dropping any wrapper
+    stacked on top and double-restoring on repeat calls."""
+
+    def test_detach_is_idempotent(self):
+        machine = Machine(small_test_model())
+        original = machine.net.send
+        tr = Tracer.attach(machine)
+        assert tr.attached
+        tr.detach()
+        assert not tr.attached
+        assert machine.net.send == original
+        tr.detach()  # second call is a no-op, not a double-restore
+        assert machine.net.send == original
+
+    def test_nested_tracers_lifo(self):
+        machine = Machine(small_test_model())
+        original = machine.net.send
+        outer = Tracer.attach(machine)
+        inner = Tracer.attach(machine)
+        with pytest.raises(RuntimeError, match="LIFO"):
+            outer.detach()
+        inner.detach()
+        outer.detach()
+        assert machine.net.send == original
+
+    def test_nested_tracers_both_record(self):
+        machine = Machine(small_test_model())
+        outer = Tracer.attach(machine)
+        inner = Tracer.attach(machine)
+        _run_one_cs(machine)
+        assert len(outer) > 0 and len(inner) > 0
+        inner.detach()
+        outer.detach()
+
+    def test_mixed_stack_with_span_tracer(self):
+        machine = Machine(small_test_model())
+        original = machine.net.send
+        tr = Tracer.attach(machine)
+        spans = SpanTracer()
+        spans.attach(machine)
+        with pytest.raises(RuntimeError):
+            tr.detach()
+        spans.detach()
+        tr.detach()
+        assert machine.net.send == original

@@ -38,6 +38,35 @@ class TestAccumulator:
         assert a.mean == pytest.approx(sum(xs) / len(xs), abs=1e-6, rel=1e-9)
         assert a.min == min(xs) and a.max == max(xs)
 
+    def test_merge_empty_cases(self):
+        a, b = Accumulator(), Accumulator()
+        a.merge(b)
+        assert a.n == 0
+        b.extend([1, 2, 3])
+        a.merge(b)
+        assert a.n == 3 and a.mean == pytest.approx(2.0)
+        empty = Accumulator()
+        a.merge(empty)
+        assert a.n == 3
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+    )
+    def test_merge_matches_sequential(self, xs, ys):
+        merged = Accumulator()
+        merged.extend(xs)
+        other = Accumulator()
+        other.extend(ys)
+        merged.merge(other)
+        direct = Accumulator()
+        direct.extend(xs + ys)
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean, abs=1e-6, rel=1e-9)
+        assert merged.stdev == pytest.approx(direct.stdev, abs=1e-3, rel=1e-6)
+        assert merged.min == direct.min and merged.max == direct.max
+        assert merged.total == pytest.approx(direct.total)
+
 
 class TestJainFairness:
     def test_perfectly_fair(self):
@@ -70,3 +99,43 @@ class TestHistogram:
 
     def test_empty_percentile(self):
         assert Histogram().percentile(99) == 0.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram(bucket_width=100)
+        for _ in range(100):
+            h.add(10)  # all in bucket [0, 100)
+        # rank-based interpolation inside the single bucket
+        assert h.percentile(25) == pytest.approx(25.0)
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(99) == pytest.approx(99.0)
+
+    def test_merge(self):
+        a, b = Histogram(bucket_width=10), Histogram(bucket_width=10)
+        for v in range(0, 50):
+            a.add(v)
+        for v in range(50, 100):
+            b.add(v)
+        a.merge(b)
+        assert a.acc.n == 100
+        assert a.acc.mean == pytest.approx(49.5)
+        direct = Histogram(bucket_width=10)
+        for v in range(100):
+            direct.add(v)
+        assert a.buckets == direct.buckets
+        assert a.percentile(50) == direct.percentile(50)
+
+    def test_merge_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=10).merge(Histogram(bucket_width=20))
+
+    def test_summary(self):
+        h = Histogram(bucket_width=10)
+        for v in range(100):
+            h.add(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(49.5)
+        assert s["min"] == 0 and s["max"] == 99
+        assert s["bucket_width"] == 10
+        assert set(s["percentiles"]) == {"p50", "p90", "p95", "p99"}
+        assert s["percentiles"]["p50"] == pytest.approx(50, abs=10)
