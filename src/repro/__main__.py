@@ -9,6 +9,9 @@ Commands:
 * ``figure``      — regenerate a paper figure (fig9a .. fig13).
 * ``locks``       — list registered lock algorithms.
 * ``report``      — validate and summarize a run-report JSON file.
+* ``check``       — conformance/invariant checking: fuzz one lock
+  algorithm (or ``--all``) under the invariant monitor and reference
+  oracle; replay and minimize JSON reproducers.  Exits 1 on violation.
 
 The benchmark commands accept ``--metrics-out FILE`` (machine-readable
 run report), ``--trace-out FILE`` (Chrome trace-event JSON, loadable in
@@ -255,6 +258,65 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check.fuzz import fuzz, load_case, run_case, save_case, shrink
+
+    tracer = SpanTracer() if args.trace_out else None
+
+    def emit_trace() -> None:
+        if tracer is not None:
+            tracer.write_chrome_trace(args.trace_out)
+            print(f"chrome trace: {args.trace_out} "
+                  f"({len(tracer.spans)} spans)")
+
+    def report_failure(outcome) -> None:
+        print(outcome.summary())
+        if args.minimize:
+            small = shrink(outcome.case)
+            path = args.save_repro or (
+                f"check-repro-{small.case.algo}-{small.case.model}.json"
+            )
+            save_case(small, path, note=f"minimized from: "
+                                        f"{outcome.case.describe()}")
+            print(f"minimized reproducer: {path} "
+                  f"({small.case.describe()})")
+        elif args.save_repro:
+            save_case(outcome, args.save_repro)
+            print(f"reproducer: {args.save_repro}")
+
+    if args.replay:
+        outcome = run_case(load_case(args.replay), span_tracer=tracer)
+        if outcome.ok:
+            print(outcome.summary())
+        else:
+            report_failure(outcome)
+        emit_trace()
+        return 0 if outcome.ok else 1
+
+    locks = sorted(all_algorithms()) if args.all else [args.lock]
+    models = ["A", "B"] if args.model == "all" else [args.model]
+    failed = []
+    for model in models:
+        for name in locks:
+            outcomes = fuzz(
+                name, model=model, runs=args.runs, seed=args.seed,
+                span_tracer=tracer,
+            )
+            bad = [o for o in outcomes if not o.ok]
+            total_cs = sum(o.total_cs for o in outcomes)
+            print(f"{name:8s} model {model}: "
+                  f"{'FAIL' if bad else 'pass'}  "
+                  f"({len(outcomes)} runs, {total_cs} CS)")
+            if bad:
+                failed.append((name, model))
+                report_failure(bad[0])
+    emit_trace()
+    if failed:
+        print(f"{len(failed)} failing combination(s): {failed}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -304,6 +366,32 @@ def build_parser() -> argparse.ArgumentParser:
     rp = sub.add_parser("report")
     rp.add_argument("file", help="run-report JSON produced by --metrics-out")
     rp.set_defaults(fn=cmd_report)
+
+    ck = sub.add_parser(
+        "check",
+        help="fuzz lock algorithms under the invariant monitor/oracle",
+    )
+    ck.add_argument("--lock", default="lcu",
+                    choices=sorted(all_algorithms()))
+    ck.add_argument("--all", action="store_true",
+                    help="check every registered algorithm")
+    ck.add_argument("--model", default="all", choices=["A", "B", "T", "all"],
+                    help="machine model ('all' = A and B)")
+    ck.add_argument("--runs", type=int, default=10,
+                    help="fuzz cases per (lock, model) combination")
+    ck.add_argument("--seed", type=int, default=0,
+                    help="master seed for case generation")
+    ck.add_argument("--minimize", action="store_true",
+                    help="shrink the first failing case to a minimal "
+                         "JSON reproducer")
+    ck.add_argument("--save-repro", metavar="FILE", default=None,
+                    help="where to write the reproducer JSON")
+    ck.add_argument("--replay", metavar="FILE", default=None,
+                    help="replay a reproducer JSON instead of fuzzing")
+    ck.add_argument("--trace-out", metavar="FILE", default=None,
+                    help="write a Chrome trace-event JSON (open spans "
+                         "are flushed, not dropped, on a violation)")
+    ck.set_defaults(fn=cmd_check)
     return p
 
 

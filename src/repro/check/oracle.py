@@ -1,0 +1,178 @@
+"""Sequential reference model of a fair reader-writer lock.
+
+The oracle shadows one lock at the software level: every "request",
+"acquire", "release" and "abandon" event the observed lock wrappers emit
+(:meth:`repro.locks.base.LockAlgorithm.add_observer`) is replayed against
+a simple sequential model, and the observed order is cross-checked
+against what *any* correct reader-writer lock may legally produce:
+
+* exclusion — a writer acquires only when nobody holds the lock, a
+  reader only when no writer holds it;
+* protocol sanity — acquisitions only by threads that requested,
+  releases only by threads that hold, matching modes;
+* bounded overtake — when the algorithm claims fairness
+  (``LockAlgorithm.fair``), no waiter may be overtaken more than a
+  bounded number of times by later-arriving requesters.
+
+The overtake bound is deliberately *loose*: FIFO hardware like the LCU
+still reorders legitimately in small ways (local RD_REL re-acquisition,
+LRT read-sharing with overflow readers, grant-timer forwarding past a
+preempted thread).  Grant-timer timeouts are reported to the oracle via
+:meth:`grant_timeout` and widen the budget further, since each timeout
+represents one waiter the hardware legally skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class RWLockOracle:
+    """Cross-check observed acquisition orders of one lock.
+
+    Violations are reported through ``on_violation(message)`` (the
+    monitor raises an :class:`~repro.check.invariants.InvariantViolation`
+    from it) and recorded in :attr:`violations` either way, so the
+    oracle is usable standalone in tests.
+    """
+
+    #: default overtake budget floor when ``fair`` and no explicit bound
+    MIN_BOUND = 16
+
+    def __init__(
+        self,
+        fair: bool = False,
+        overtake_bound: Optional[int] = None,
+        on_violation: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.fair = fair
+        self.overtake_bound = overtake_bound
+        self.violations: List[str] = []
+        self._on_violation = on_violation
+        self._seq = 0
+        # tid -> (arrival seq, write, request time)
+        self.waiting: Dict[int, Tuple[int, bool, int]] = {}
+        # tid -> write (re-entrant holds are not modelled; the harnesses
+        # never hold one lock twice from one thread)
+        self.holders: Dict[int, bool] = {}
+        # tid -> how many later arrivals acquired while tid kept waiting
+        self.overtaken: Dict[int, int] = {}
+        self.timeout_credits = 0
+        self.max_overtake = 0
+        self._tids_seen: set = set()
+
+    # ------------------------------------------------------------------ #
+
+    def _violate(self, message: str) -> None:
+        self.violations.append(message)
+        if self._on_violation is not None:
+            self._on_violation(message)
+
+    def _bound(self) -> int:
+        if self.overtake_bound is not None:
+            base = self.overtake_bound
+        else:
+            base = max(self.MIN_BOUND, 4 * len(self._tids_seen))
+        return base + self.timeout_credits
+
+    @property
+    def write_held(self) -> bool:
+        return any(self.holders.values())
+
+    @property
+    def read_held(self) -> int:
+        return sum(1 for w in self.holders.values() if not w)
+
+    # -- event replay --------------------------------------------------- #
+
+    def request(self, tid: int, write: bool, now: int) -> None:
+        self._tids_seen.add(tid)
+        if tid in self.waiting:
+            self._violate(
+                f"tid {tid} requested at t={now} while already waiting"
+            )
+        if tid in self.holders:
+            self._violate(
+                f"tid {tid} requested at t={now} while already holding"
+            )
+        self._seq += 1
+        self.waiting[tid] = (self._seq, write, now)
+        self.overtaken.setdefault(tid, 0)
+
+    def acquire(self, tid: int, write: bool, now: int) -> None:
+        entry = self.waiting.pop(tid, None)
+        if entry is None:
+            self._violate(f"tid {tid} acquired at t={now} without a request")
+            seq = self._seq
+        else:
+            seq, req_write, _ = entry
+            if req_write != write:
+                self._violate(
+                    f"tid {tid} requested {'W' if req_write else 'R'} but "
+                    f"acquired {'W' if write else 'R'} at t={now}"
+                )
+        # exclusion against the oracle's own holder set
+        if write and self.holders:
+            self._violate(
+                f"writer tid {tid} acquired at t={now} while held by "
+                f"{sorted(self.holders)}"
+            )
+        elif not write and self.write_held:
+            self._violate(
+                f"reader tid {tid} acquired at t={now} during a write hold"
+            )
+        if tid in self.holders:
+            self._violate(f"tid {tid} double-acquired at t={now}")
+        self.holders[tid] = write
+        self.overtaken.pop(tid, None)
+        # fairness: everyone who arrived earlier and is still waiting has
+        # been overtaken once more
+        if self.fair:
+            for other, (oseq, _w, _t) in self.waiting.items():
+                if oseq < seq:
+                    count = self.overtaken.get(other, 0) + 1
+                    self.overtaken[other] = count
+                    if count > self.max_overtake:
+                        self.max_overtake = count
+                    if count > self._bound():
+                        self._violate(
+                            f"tid {other} overtaken {count}x "
+                            f"(bound {self._bound()}) — last by tid {tid} "
+                            f"at t={now}"
+                        )
+
+    def release(self, tid: int, write: bool, now: int) -> None:
+        held = self.holders.pop(tid, None)
+        if held is None:
+            self._violate(f"tid {tid} released at t={now} without holding")
+        elif held != write:
+            self._violate(
+                f"tid {tid} held {'W' if held else 'R'} but released "
+                f"{'W' if write else 'R'} at t={now}"
+            )
+
+    def abandon(self, tid: int, now: int) -> None:
+        """A trylock gave up: the waiter legally leaves the queue."""
+        if self.waiting.pop(tid, None) is None:
+            self._violate(f"tid {tid} abandoned at t={now} without a request")
+        self.overtaken.pop(tid, None)
+
+    def grant_timeout(self) -> None:
+        """The hardware grant timer skipped an absent waiter; later
+        acquisitions may legally overtake it."""
+        self.timeout_credits += 1
+
+    # -- end of run ------------------------------------------------------ #
+
+    def end_state_problems(self) -> List[str]:
+        problems = list(self.violations)
+        if self.holders:
+            problems.append(
+                f"still held at end of run by {sorted(self.holders)}"
+            )
+        if self.waiting:
+            problems.append(
+                f"still waiting at end of run: {sorted(self.waiting)} "
+                "(lost wakeup?)"
+            )
+        return problems

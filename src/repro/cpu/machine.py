@@ -30,12 +30,19 @@ _LCU_MESSAGE_TYPES = (
 
 
 class Machine:
-    """One simulated multiprocessor instance."""
+    """One simulated multiprocessor instance.
 
-    def __init__(self, config: MachineConfig) -> None:
+    ``tiebreak_seed`` perturbs same-cycle event ordering (see
+    :class:`repro.sim.engine.Simulator`); the schedule fuzzer uses it to
+    explore alternative interleavings deterministically.
+    """
+
+    def __init__(
+        self, config: MachineConfig, tiebreak_seed: "int | None" = None
+    ) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(tiebreak_seed=tiebreak_seed)
         self.net = Network(self.sim, config, self._chip_of)
         self.alloc = Allocator(config.line_size)
 

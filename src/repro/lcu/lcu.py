@@ -80,6 +80,15 @@ class LockControlUnit:
         }
         #: most entries simultaneously in use (table-pressure telemetry)
         self.entries_highwater = 0
+        #: optional hook ``fn(event, addr, tid, write)`` fired on every
+        #: grant-level protocol action ("acquire", "release", "grant",
+        #: "transfer", "timeout") — the attachment point for
+        #: :class:`repro.check.invariants.InvariantMonitor`
+        self.observer: Optional[Callable[[str, int, int, bool], None]] = None
+
+    def _observe(self, event: str, addr: int, tid: int, write: bool) -> None:
+        if self.observer is not None:
+            self.observer(event, addr, tid, write)
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -181,6 +190,7 @@ class LockControlUnit:
                 self._held_gen[key] = parked[2]
                 self.stats["flt_hits"] = self.stats.get("flt_hits", 0) + 1
                 self.stats["acquires"] += 1
+                self._observe("acquire", addr, tid, write)
                 return True
             e = self._alloc(addr, tid, write)
             if e is None:
@@ -201,6 +211,7 @@ class LockControlUnit:
         if e.status == RCV and not e.pending_ovf:
             e.timer_seq += 1  # cancel the grant timer
             self.stats["acquires"] += 1
+            self._observe("acquire", addr, tid, write)
             if e.overflow:
                 # Overflow readers do not join the queue; remember the
                 # grant so the release can be tagged, then free the entry.
@@ -217,6 +228,7 @@ class LockControlUnit:
             # Local re-acquisition of a silently-released read lock.
             e.status = ACQ
             self.stats["acquires"] += 1
+            self._observe("acquire", addr, tid, write)
             return True
         return False
 
@@ -238,6 +250,7 @@ class LockControlUnit:
                 self._flt[addr] = (tid, write, self._held_gen.pop(key))
                 self.stats["flt_parks"] = self.stats.get("flt_parks", 0) + 1
                 self.stats["releases"] += 1
+                self._observe("release", addr, tid, write)
                 return True
             # Uncontended lock, overflow-mode grant, or migrated thread:
             # re-allocate an entry and tell the LRT (paper III-A / III-C).
@@ -249,6 +262,7 @@ class LockControlUnit:
             e.overflow = overflow
             e.gen = self._held_gen.pop(key, 0)
             self.stats["releases"] += 1
+            self._observe("release", addr, tid, write)
             self._send_lrt(
                 addr,
                 msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), overflow),
@@ -256,6 +270,7 @@ class LockControlUnit:
             return True
         if e.status == ACQ and e.write == write:
             self.stats["releases"] += 1
+            self._observe("release", addr, tid, write)
             self._release_entry(e)
             return True
         if e.status in (ISSUED, WAIT, RCV, RD_REL):
@@ -266,6 +281,7 @@ class LockControlUnit:
             # LRT's queue walk without touching the stale node — it will
             # self-heal via the grant timer when its grant arrives.
             self.stats["releases"] += 1
+            self._observe("release", addr, tid, write)
             self._send_lrt(
                 addr, msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), False)
             )
@@ -319,6 +335,7 @@ class LockControlUnit:
         nxt = e.next
         assert nxt is not None
         self.stats["transfers"] += 1
+        self._observe("transfer", e.addr, nxt.tid, nxt.write)
         self._send_lcu(
             nxt.lcu,
             msg.Grant(
@@ -351,6 +368,7 @@ class LockControlUnit:
             self._arm_timer(e)
             return
         self.stats["timeouts"] += 1
+        self._observe("timeout", addr, tid, e.write)
         if e.overflow:
             e.status = REL
             self._send_lrt(
@@ -492,24 +510,37 @@ class LockControlUnit:
     def _on_fwd(self, m: msg.FwdRequest) -> None:
         key = (m.addr, m.tail_tid)
         e = self._entries.get(key)
-        if e is None:
-            parked = self._flt.get(m.addr)
-            if parked is not None and parked[0] == m.tail_tid:
-                # A remote requestor wants a lock parked in the FLT: the
-                # lock is logically free, so hand it straight over.
-                del self._flt[m.addr]
-                self.stats["transfers"] += 1
-                gen = max(parked[2], m.gen) + 1
-                self._send_lcu(
-                    m.req.lcu,
-                    msg.Grant(
-                        m.addr, m.req.tid, head=True, gen=gen,
-                        confirm_required=bool(
-                            m.req.write and m.confirm_required
-                        ),
+        parked = self._flt.get(m.addr)
+        if (
+            parked is not None
+            and parked[0] == m.tail_tid
+            and (
+                e is None
+                or (parked[1] == m.tail_write and e.write != m.tail_write)
+            )
+        ):
+            # A requestor wants a lock parked in the FLT: the lock is
+            # logically free, so hand it straight over.  The entry-mode
+            # check covers a key collision: when the *parking thread
+            # itself* re-requests in the other mode (its park cannot
+            # satisfy the new mode), its fresh ISSUED entry reuses the
+            # old tail's (addr, tid) key — that entry is the requestor,
+            # not the tail this forward names, and linking the queue
+            # through it would point the node at itself.
+            del self._flt[m.addr]
+            self.stats["transfers"] += 1
+            gen = max(parked[2], m.gen) + 1
+            self._send_lcu(
+                m.req.lcu,
+                msg.Grant(
+                    m.addr, m.req.tid, head=True, gen=gen,
+                    confirm_required=bool(
+                        m.req.write and m.confirm_required
                     ),
-                )
-                return
+                ),
+            )
+            return
+        if e is None:
             # We were the uncontended owner; re-allocate (paper Fig. 4b).
             e = self._alloc(m.addr, m.tail_tid, m.tail_write)
             if e is None or e.nonblocking:

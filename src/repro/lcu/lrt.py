@@ -108,6 +108,14 @@ class LockReservationTable:
         #: most locks simultaneously live (table + overflow) — the
         #: occupancy telemetry behind the spill/refill behaviour
         self.live_locks_highwater = 0
+        #: optional hook ``fn(event, addr, tid, write)`` fired on queue
+        #: decisions ("grant", "overflow_grant", "forward", "retry") —
+        #: the attachment point for the invariant monitor
+        self.observer: Optional[Callable[[str, int, int, bool], None]] = None
+
+    def _observe(self, event: str, addr: int, tid: int, write: bool) -> None:
+        if self.observer is not None:
+            self.observer(event, addr, tid, write)
 
     # ------------------------------------------------------------------ #
     # table management
@@ -272,6 +280,7 @@ class LockReservationTable:
                 # Overflow-mode read grant: no queue membership.
                 e.reader_cnt += 1
                 self.stats["overflow_grants"] += 1
+                self._observe("overflow_grant", m.addr, req.tid, req.write)
                 self._send_lcu(
                     req.lcu,
                     msg.Grant(
@@ -307,6 +316,7 @@ class LockReservationTable:
             # decisions are serialized at the LRT, and any later writer
             # enqueues behind this reader.)
             self.stats["grants"] += 1
+            self._observe("grant", m.addr, req.tid, req.write)
             self._send_lcu(
                 req.lcu,
                 msg.Grant(m.addr, req.tid, head=False, gen=e.gen,
@@ -317,6 +327,7 @@ class LockReservationTable:
     def _forward(self, e: LrtEntry, addr: int, req: Who) -> None:
         assert e.tail is not None
         self.stats["forwards"] += 1
+        self._observe("forward", addr, req.tid, req.write)
         fwd = msg.FwdRequest(
             addr=addr,
             tail_tid=e.tail.tid,
@@ -360,6 +371,7 @@ class LockReservationTable:
         self, req: Who, addr: int, head: bool, gen: int, confirm: bool = False
     ) -> None:
         self.stats["grants"] += 1
+        self._observe("grant", addr, req.tid, req.write)
         self._send_lcu(
             req.lcu,
             msg.Grant(
@@ -370,6 +382,7 @@ class LockReservationTable:
 
     def _retry(self, req: Who, addr: int) -> None:
         self.stats["retries"] += 1
+        self._observe("retry", addr, req.tid, req.write)
         self._send_lcu(req.lcu, msg.Retry(addr, req.tid))
 
     # ------------------------------------------------------------------ #

@@ -23,7 +23,17 @@ from repro.cpu.os_sched import SimThread
 
 
 class LockAlgorithm:
-    """Base class: one instance is bound to one machine."""
+    """Base class: one instance is bound to one machine.
+
+    Besides the raw ``lock``/``unlock``/``trylock`` generator operations,
+    the base class provides *observed* wrappers (:meth:`acquire`,
+    :meth:`release`, :meth:`try_acquire`) that report every request,
+    grant and release to registered observers — the hook the conformance
+    subsystem (:mod:`repro.check`) attaches its invariant monitor and
+    reference oracle to.  Workloads that want their lock operations
+    checked compose the wrappers instead of the raw operations; the raw
+    operations stay observer-free and cost nothing extra.
+    """
 
     # -- Figure 1 metadata (overridden per algorithm) -------------------- #
     name: str = "abstract"
@@ -40,6 +50,54 @@ class LockAlgorithm:
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
+        # callbacks ``fn(event, thread, handle, write)`` where event is
+        # one of "request", "acquire", "release", "abandon"
+        self.observers: List[Any] = []
+
+    # -- observation ------------------------------------------------------- #
+
+    def add_observer(self, fn) -> None:
+        """Register ``fn(event, thread, handle, write)`` to see every
+        lock-operation lifecycle event issued through the observed
+        wrappers below."""
+        self.observers.append(fn)
+
+    def remove_observer(self, fn) -> bool:
+        """Deregister an observer; returns whether it was registered."""
+        try:
+            self.observers.remove(fn)
+        except ValueError:
+            return False
+        return True
+
+    def notify(self, event: str, thread: SimThread, handle: Any,
+               write: bool) -> None:
+        for fn in self.observers:
+            fn(event, thread, handle, write)
+
+    # -- observed wrappers (generator functions) --------------------------- #
+
+    def acquire(self, thread: SimThread, handle: Any, write: bool) -> Generator:
+        """Blocking acquire that reports "request" before blocking and
+        "acquire" once the lock is held."""
+        self.notify("request", thread, handle, write)
+        yield from self.lock(thread, handle, write)
+        self.notify("acquire", thread, handle, write)
+
+    def release(self, thread: SimThread, handle: Any, write: bool) -> Generator:
+        """Release that reports "release" as the critical section ends."""
+        self.notify("release", thread, handle, write)
+        yield from self.unlock(thread, handle, write)
+
+    def try_acquire(
+        self, thread: SimThread, handle: Any, write: bool, retries: int = 16
+    ) -> Generator:
+        """Bounded acquire reporting "request" then "acquire" on success
+        or "abandon" on failure; returns True/False like ``trylock``."""
+        self.notify("request", thread, handle, write)
+        ok = yield from self.trylock(thread, handle, write, retries)
+        self.notify("acquire" if ok else "abandon", thread, handle, write)
+        return ok
 
     # -- lifecycle -------------------------------------------------------- #
 

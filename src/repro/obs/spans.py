@@ -195,6 +195,32 @@ class SpanTracer:
         self._open.clear()
         return n
 
+    def flush_open(self, ts: Optional[int] = None, **args: Any) -> int:
+        """Close every still-open span at ``ts`` (default: now), tagging
+        it ``flushed=True``, and keep it in the trace.  Returns how many
+        were flushed.
+
+        This is the failure-path counterpart of :meth:`abandon_open`:
+        when a run dies mid-flight — an invariant violation, a protocol
+        error — the spans open at that instant are exactly the activity
+        that was interrupted, so dropping them (the historical behaviour)
+        discards the most diagnostic part of the trace.  The conformance
+        subsystem calls this before letting an
+        :class:`~repro.check.invariants.InvariantViolation` propagate."""
+        t = self._now(ts)
+        flushed = 0
+        for sid in list(self._open):
+            span = self._open.pop(sid)
+            span.end = max(t, span.start)
+            span.args.update(args)
+            span.args["flushed"] = True
+            if len(self.spans) < self.capacity:
+                self.spans.append(span)
+            else:
+                self.dropped += 1
+            flushed += 1
+        return flushed
+
     # ------------------------------------------------------------------ #
     # export
 

@@ -24,6 +24,7 @@ The three building blocks are:
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
@@ -32,13 +33,25 @@ class SimulationError(RuntimeError):
 
 
 class Simulator:
-    """Deterministic discrete-event simulator with an integer cycle clock."""
+    """Deterministic discrete-event simulator with an integer cycle clock.
 
-    def __init__(self) -> None:
+    ``tiebreak_seed`` perturbs the order in which *same-cycle* events fire:
+    instead of pure schedule order, each event draws a deterministic random
+    key from the seed and same-cycle events fire in key order (schedule
+    order still breaks key collisions).  Every seed is one reproducible
+    interleaving — the schedule fuzzer (:mod:`repro.check.fuzz`) sweeps
+    seeds to explore interleavings the default order never produces.
+    """
+
+    def __init__(self, tiebreak_seed: Optional[int] = None) -> None:
         self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[int, int, int, Callable[[], None]]] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._tiebreak: Optional[random.Random] = (
+            random.Random(tiebreak_seed) if tiebreak_seed is not None else None
+        )
+        self._probes: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -49,7 +62,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} (now={self.now})"
             )
-        heapq.heappush(self._queue, (int(time), self._seq, fn))
+        key = self._seq if self._tiebreak is None else self._tiebreak.getrandbits(30)
+        heapq.heappush(self._queue, (int(time), key, self._seq, fn))
         self._seq += 1
 
     def after(self, delay: int, fn: Callable[[], None]) -> None:
@@ -80,7 +94,7 @@ class Simulator:
                 break
             if max_events is not None and processed >= max_events:
                 break
-            time, _seq, fn = self._queue[0]
+            time, _key, _seq, fn = self._queue[0]
             if until is not None and time > until:
                 self.now = until
                 break
@@ -88,6 +102,9 @@ class Simulator:
             self.now = time
             fn()
             processed += 1
+            if self._probes:
+                for probe in self._probes:
+                    probe()
         self._events_processed += processed
         return processed
 
@@ -98,6 +115,24 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    # ------------------------------------------------------------------ #
+    # probes
+
+    def add_probe(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run after every processed event.  Probes are
+        the pull-based hook invariant monitors attach to
+        (:mod:`repro.check.invariants`); with none registered the event
+        loop pays a single falsy check per event."""
+        self._probes.append(fn)
+
+    def remove_probe(self, fn: Callable[[], None]) -> bool:
+        """Deregister a probe; returns whether it was registered."""
+        try:
+            self._probes.remove(fn)
+        except ValueError:
+            return False
+        return True
 
 
 class Signal:

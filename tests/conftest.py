@@ -1,10 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+The exclusion tracker and the post-run leak check are thin wrappers over
+the production conformance subsystem (:mod:`repro.check.invariants`), so
+the tests and ``python -m repro check`` share one definition of what a
+correct run looks like.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro import Machine, OS, small_test_model
+from repro.check.invariants import ExclusionTracker, check_quiescent
 from repro.cpu import ops
 
 
@@ -18,41 +25,12 @@ def scheduler(machine: Machine) -> OS:
     return OS(machine)
 
 
-class RWTracker:
-    """Asserts reader-writer exclusion from inside thread programs."""
+class RWTracker(ExclusionTracker):
+    """Asserts reader-writer exclusion from inside thread programs.
 
-    def __init__(self) -> None:
-        self.readers = 0
-        self.writers = 0
-        self.max_readers = 0
-        self.total = 0
-        self.violations = []
-
-    def enter(self, write: bool) -> None:
-        if write:
-            if self.readers or self.writers:
-                self.violations.append(
-                    f"writer entered with r={self.readers} w={self.writers}"
-                )
-            self.writers += 1
-        else:
-            if self.writers:
-                self.violations.append(
-                    f"reader entered with w={self.writers}"
-                )
-            self.readers += 1
-            self.max_readers = max(self.max_readers, self.readers)
-
-    def exit(self, write: bool) -> None:
-        if write:
-            self.writers -= 1
-        else:
-            self.readers -= 1
-        self.total += 1
-
-    def assert_clean(self) -> None:
-        assert not self.violations, self.violations
-        assert self.readers == 0 and self.writers == 0
+    Alias of the conformance subsystem's
+    :class:`~repro.check.invariants.ExclusionTracker`, kept under its
+    historical test-suite name."""
 
 
 def cs_program(algo, handle, tracker: RWTracker, iters: int, write_of=None,
@@ -75,8 +53,8 @@ def cs_program(algo, handle, tracker: RWTracker, iters: int, write_of=None,
 
 
 def drain_and_check(machine: Machine) -> None:
-    """Settle in-flight traffic and assert no leaked hardware state."""
-    machine.drain()
-    machine.check_lock_invariants()
-    assert machine.total_lcu_entries_in_use() == 0
-    assert sum(l.live_locks for l in machine.lrts) == 0
+    """Settle in-flight traffic and assert no leaked hardware state
+    (delegates to :func:`repro.check.invariants.check_quiescent`; an
+    :class:`~repro.check.invariants.InvariantViolation` fails the test
+    with the structural problems listed)."""
+    check_quiescent(machine)

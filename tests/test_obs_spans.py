@@ -45,6 +45,22 @@ class TestSpanProtocol:
         assert t.abandon_open() == 1
         t.check_closed()  # now clean
 
+    def test_flush_open_keeps_spans(self):
+        t = SpanTracer(Simulator())
+        t.begin("interrupted", ts=3)
+        t.begin("late", ts=10)
+        assert t.flush_open(ts=7, reason="fault") == 2
+        assert t.open_count == 0
+        t.check_closed()
+        by_name = {s.name: s for s in t.spans}
+        assert by_name["interrupted"].duration == 4
+        # a span "opened after" the flush instant is clamped, not negative
+        assert by_name["late"].duration == 0
+        for s in t.spans:
+            assert s.args["flushed"] is True
+            assert s.args["reason"] == "fault"
+        assert t.flush_open(ts=8) == 0
+
     def test_duration_of_open_span_raises(self):
         t = SpanTracer(Simulator())
         sid = t.begin("x")

@@ -13,6 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Machine, OS, small_test_model
+from repro.check.invariants import InvariantMonitor
 from repro.cpu import ops
 from repro.lcu import api
 from repro.locks import get_algorithm
@@ -46,6 +47,10 @@ def run_lcu_workload(p):
     locks = [m.alloc.alloc_line() for _ in range(p["nlocks"])]
     trackers = {a: RWTracker() for a in locks}
     completed = [0]
+    # continuous structural auditing (queue shape, head token, orphans)
+    # while the randomized schedule runs — the production monitor, not a
+    # test-only reimplementation
+    monitor = InvariantMonitor(m).attach()
 
     def factory(i):
         def prog(thread):
@@ -71,6 +76,7 @@ def run_lcu_workload(p):
     for i in range(p["nthreads"]):
         os_.spawn(factory(i))
     os_.run_all(max_cycles=1_000_000_000)
+    monitor.detach()
     return m, trackers, completed[0]
 
 
@@ -108,26 +114,29 @@ class TestSoftwareLockProperties:
         quantum=st.sampled_from([2_000, 10**9]),
     )
     def test_mutex_invariants(self, seed, nthreads, name, quantum):
+        # exclusion is checked by the production monitor observing the
+        # lock through the base-class acquire/release wrappers
         m = Machine(small_test_model())
         os_ = OS(m, quantum=quantum)
         algo = get_algorithm(name)(m)
         h = algo.make_lock()
-        tracker = RWTracker()
+        monitor = InvariantMonitor(m, algo).attach()
 
         def factory(i):
             def prog(thread):
                 rng = random.Random(seed * 13 + i)
                 for _ in range(6):
-                    yield from algo.lock(thread, h, True)
-                    tracker.enter(True)
+                    yield from algo.acquire(thread, h, True)
                     yield ops.Compute(rng.randint(1, 80))
-                    tracker.exit(True)
-                    yield from algo.unlock(thread, h, True)
+                    yield from algo.release(thread, h, True)
             return prog
 
         for i in range(nthreads):
             os_.spawn(factory(i))
         os_.run_all(max_cycles=1_000_000_000)
+        monitor.finish()
+        monitor.detach()
+        tracker = monitor.trackers[h]
         tracker.assert_clean()
         assert tracker.total == nthreads * 6
 
@@ -144,22 +153,23 @@ class TestSoftwareLockProperties:
         os_ = OS(m)
         algo = get_algorithm(name)(m)
         h = algo.make_lock()
-        tracker = RWTracker()
+        monitor = InvariantMonitor(m, algo).attach()
 
         def factory(i):
             def prog(thread):
                 rng = random.Random(seed * 17 + i)
                 for _ in range(6):
                     write = rng.random() < write_ratio
-                    yield from algo.lock(thread, h, write)
-                    tracker.enter(write)
+                    yield from algo.acquire(thread, h, write)
                     yield ops.Compute(rng.randint(1, 80))
-                    tracker.exit(write)
-                    yield from algo.unlock(thread, h, write)
+                    yield from algo.release(thread, h, write)
             return prog
 
         for i in range(nthreads):
             os_.spawn(factory(i))
         os_.run_all(max_cycles=1_000_000_000)
+        monitor.finish()
+        monitor.detach()
+        tracker = monitor.trackers[h]
         tracker.assert_clean()
         assert tracker.total == nthreads * 6

@@ -13,6 +13,7 @@ from repro.stm.core import ObjectSTM
 from repro.stm.direct import run_direct
 from repro.stm.structures.hashtable import HashTable
 from repro.stm.structures.skiplist import SkipList
+from tests.conftest import drain_and_check
 
 _SETTINGS = dict(
     max_examples=8,
@@ -96,6 +97,4 @@ class TestStmProperties:
         for i in range(p["nthreads"]):
             os_.spawn(factory(i))
         os_.run_all(max_cycles=20_000_000_000)
-        m.drain()
-        m.check_lock_invariants()
-        assert m.total_lcu_entries_in_use() == 0
+        drain_and_check(m)
