@@ -12,11 +12,19 @@ Commands:
 * ``check``       — conformance/invariant checking: fuzz one lock
   algorithm (or ``--all``) under the invariant monitor and reference
   oracle; replay and minimize JSON reproducers.  Exits 1 on violation.
+* ``profile``     — run the contention profiler on a microbenchmark:
+  per-lock acquire-latency decomposition, queue-depth stats, critical
+  path, folded-stack / Perfetto export.
+* ``diff``        — structurally diff two run reports; with
+  ``--fail-on-regression``, exit 1 when a known-direction quantity
+  moved past ``--threshold`` in the wrong direction.
 
 The benchmark commands accept ``--metrics-out FILE`` (machine-readable
 run report), ``--trace-out FILE`` (Chrome trace-event JSON, loadable in
 Perfetto) and ``--sample-interval N`` (gauge time-series period in
-cycles); see README "Observability".
+cycles); ``microbench`` and ``figure`` also take ``--profile`` to embed
+a profile section in the run report.  See README "Observability" and
+"Profiling & regression gating".
 """
 
 from __future__ import annotations
@@ -74,6 +82,11 @@ _FIGURES = {
 }
 
 
+#: figures whose runs go through run_microbench and therefore have
+#: lock-phase probes the profiler can attach to
+_PROFILABLE_FIGURES = {"fig9a", "fig9b", "fig10a", "fig10b"}
+
+
 def _model(name: str):
     return model_a() if name.upper() == "A" else model_b()
 
@@ -104,7 +117,17 @@ def _obs_setup(args):
     return registry, tracer
 
 
-def _obs_emit(args, kind, config, result, registry, tracer) -> None:
+def _profiler_setup(args):
+    """A :class:`ContentionProfiler` when ``--profile`` was given."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs.profile import ContentionProfiler
+
+    return ContentionProfiler()
+
+
+def _obs_emit(args, kind, config, result, registry, tracer,
+              profiler=None) -> None:
     """Write the run report / trace files requested on the command line."""
     if registry is not None:
         results = (
@@ -112,10 +135,13 @@ def _obs_emit(args, kind, config, result, registry, tracer) -> None:
             if dataclasses.is_dataclass(result) else result
         )
         report = build_run_report(
-            kind, config, results, metrics=registry.to_dict()
+            kind, config, results, metrics=registry.to_dict(),
+            profile=profiler.to_dict() if profiler is not None else None,
         )
         write_run_report(args.metrics_out, report)
         print(f"run report: {args.metrics_out}")
+    elif profiler is not None:
+        print(profiler.summarize())
     if tracer is not None:
         tracer.write_chrome_trace(args.trace_out)
         print(f"chrome trace: {args.trace_out} "
@@ -140,11 +166,13 @@ def cmd_locks(_args) -> int:
 def cmd_microbench(args) -> int:
     config = _model(args.model)
     registry, tracer = _obs_setup(args)
+    profiler = _profiler_setup(args)
     r = run_microbench(
         config, args.lock, args.threads, args.write_pct,
         iters_per_thread=args.iters,
         registry=registry, tracer=tracer,
         sample_interval=args.sample_interval,
+        profiler=profiler,
     )
     print(r)
     print(f"  fairness={r.fairness:.3f} acquire latency mean="
@@ -158,7 +186,7 @@ def cmd_microbench(args) -> int:
             "sample_interval": args.sample_interval,
             "machine": dataclasses.asdict(config),
         },
-        r, registry, tracer,
+        r, registry, tracer, profiler,
     )
     return 0
 
@@ -211,10 +239,19 @@ def cmd_app(args) -> int:
 
 def cmd_figure(args) -> int:
     registry, tracer = _obs_setup(args)
-    result = _FIGURES[args.name](
-        args.scale, registry=registry, tracer=tracer,
+    profiler = _profiler_setup(args)
+    kwargs = dict(
+        registry=registry, tracer=tracer,
         sample_interval=args.sample_interval,
     )
+    if profiler is not None:
+        if args.name not in _PROFILABLE_FIGURES:
+            print(f"error: --profile supports only "
+                  f"{sorted(_PROFILABLE_FIGURES)} (lock-level probes); "
+                  f"{args.name} is an STM/app figure", file=sys.stderr)
+            return 2
+        kwargs["profiler"] = profiler
+    result = _FIGURES[args.name](args.scale, **kwargs)
     print(result.text)
     _obs_emit(
         args, "figure",
@@ -228,7 +265,7 @@ def cmd_figure(args) -> int:
             "series": result.series,
             "checks": result.checks,
         },
-        registry, tracer,
+        registry, tracer, profiler,
     )
     if result.checks:
         ok = all(result.checks.values())
@@ -255,6 +292,91 @@ def cmd_report(args) -> int:
             print(f"  - {err}", file=sys.stderr)
         return 1
     print(summarize_run_report(report))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import ContentionProfiler
+
+    if args.top <= 0:
+        print("error: --top must be positive", file=sys.stderr)
+        return 2
+    config = _model(args.model)
+    profiler = ContentionProfiler()
+    registry = MetricsRegistry() if args.json_out else None
+    r = run_microbench(
+        config, args.lock, args.threads, args.write_pct,
+        iters_per_thread=args.iters, cs_cycles=args.cs_cycles,
+        seed=args.seed,
+        registry=registry, profiler=profiler,
+    )
+    print(profiler.summarize(top=args.top))
+    print()
+    print(r)
+    if args.folded_out:
+        profiler.write_folded(args.folded_out)
+        print(f"folded stacks: {args.folded_out}")
+    if args.trace_out:
+        profiler.write_chrome_trace(args.trace_out)
+        print(f"chrome trace: {args.trace_out}")
+    if args.json_out:
+        report = build_run_report(
+            "microbench",
+            {
+                "lock": args.lock, "model": args.model,
+                "threads": args.threads, "write_pct": args.write_pct,
+                "iters_per_thread": args.iters,
+                "cs_cycles": args.cs_cycles, "seed": args.seed,
+                "machine": dataclasses.asdict(config),
+            },
+            dataclasses.asdict(r),
+            metrics=registry.to_dict(),
+            profile=profiler.to_dict(top=args.top),
+        )
+        write_run_report(args.json_out, report)
+        print(f"run report: {args.json_out}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    import json
+
+    from repro.obs.diff import diff_run_reports
+
+    if args.threshold < 0:
+        print("error: --threshold must be >= 0", file=sys.stderr)
+        return 2
+    reports = []
+    for path in (args.old, args.new):
+        try:
+            with open(path) as f:
+                rep = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            validate_run_report(rep)
+        except ReportValidationError as exc:
+            print(f"invalid run report {path}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(rep)
+    d = diff_run_reports(reports[0], reports[1], threshold=args.threshold)
+    print(d.summarize(top=args.top))
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(d.to_dict(), f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"diff report: {args.json_out}")
+    if d.has_regressions():
+        if args.fail_on_regression:
+            print(
+                f"FAIL: {len(d.regressions)} regression(s) beyond "
+                f"{args.threshold:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"note: {len(d.regressions)} regression(s) found "
+              f"(pass --fail-on-regression to gate)")
     return 0
 
 
@@ -332,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     mb.add_argument("--write-pct", type=int, default=100)
     mb.add_argument("--iters", type=int, default=150)
     _add_obs_flags(mb)
+    mb.add_argument("--profile", action="store_true",
+                    help="attach the contention profiler; with "
+                         "--metrics-out, embeds a 'profile' section in "
+                         "the run report, otherwise prints the summary")
     mb.set_defaults(fn=cmd_microbench)
 
     st = sub.add_parser("stm")
@@ -361,11 +487,64 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("name", choices=sorted(_FIGURES))
     fig.add_argument("--scale", type=int, default=1)
     _add_obs_flags(fig)
+    fig.add_argument("--profile", action="store_true",
+                    help="profile the first microbench run of the sweep "
+                         "(fig9*/fig10* only)")
     fig.set_defaults(fn=cmd_figure)
 
     rp = sub.add_parser("report")
     rp.add_argument("file", help="run-report JSON produced by --metrics-out")
     rp.set_defaults(fn=cmd_report)
+
+    pf = sub.add_parser(
+        "profile",
+        help="contention profiling: per-lock wait decomposition, "
+             "queue-depth stats, critical path",
+    )
+    pf.add_argument("--run", default="microbench", choices=["microbench"],
+                    help="harness to profile (microbench only for now)")
+    pf.add_argument("--lock", default="lcu",
+                    choices=sorted(all_algorithms()))
+    pf.add_argument("--model", default="A", choices=["A", "B"])
+    pf.add_argument("--threads", type=int, default=16)
+    pf.add_argument("--write-pct", type=int, default=100)
+    pf.add_argument("--iters", type=int, default=150)
+    pf.add_argument("--cs-cycles", type=int, default=40,
+                    help="critical-section length (cycles) — the latency "
+                         "knob regression tests turn")
+    pf.add_argument("--seed", type=int, default=1)
+    pf.add_argument("--top", type=int, default=5,
+                    help="how many critical-path edges to show/export")
+    pf.add_argument("--folded-out", metavar="FILE", default=None,
+                    help="write folded stacks (flamegraph.pl/speedscope "
+                         "collapsed format) here")
+    pf.add_argument("--trace-out", metavar="FILE", default=None,
+                    help="write phase spans as Chrome trace-event JSON "
+                         "(Perfetto-loadable) here")
+    pf.add_argument("--json-out", metavar="FILE", default=None,
+                    help="write a full run report (with profile section) "
+                         "here")
+    pf.set_defaults(fn=cmd_profile)
+
+    df = sub.add_parser(
+        "diff",
+        help="diff two run reports; exit 1 on regression with "
+             "--fail-on-regression",
+    )
+    df.add_argument("old", help="baseline run-report JSON")
+    df.add_argument("new", help="candidate run-report JSON")
+    df.add_argument("--threshold", type=float, default=0.10,
+                    metavar="FRACTION",
+                    help="relative change below which a quantity is "
+                         "'unchanged' (default 0.10 = 10%%)")
+    df.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 if any known-direction quantity "
+                         "regressed beyond the threshold")
+    df.add_argument("--top", type=int, default=20,
+                    help="rows to print per verdict class")
+    df.add_argument("--json-out", metavar="FILE", default=None,
+                    help="write the machine-readable diff here")
+    df.set_defaults(fn=cmd_diff)
 
     ck = sub.add_parser(
         "check",

@@ -42,9 +42,9 @@ def _model(name: str, **overrides) -> MachineConfig:
 
 
 def _trace_once(tracer):
-    """Hand the tracer to the first run of a sweep only: one coherent
-    Perfetto timeline beats dozens of overlaid ones.  Returns a callable
-    yielding ``tracer`` once, then ``None``."""
+    """Hand the tracer (or profiler) to the first run of a sweep only:
+    one coherent Perfetto timeline beats dozens of overlaid ones.
+    Returns a callable yielding the wrapped object once, then ``None``."""
     state = {"used": False}
 
     def take():
@@ -69,11 +69,13 @@ def figure9(
     registry=None,
     tracer=None,
     sample_interval: int = 0,
+    profiler=None,
 ) -> FigureResult:
     """CS execution time including lock transfer, LCU vs SSB (Fig 9)."""
     series: Dict[str, List[float]] = {}
     hub_util: Dict[str, float] = {}
     take_tracer = _trace_once(tracer)
+    take_profiler = _trace_once(profiler)
     for lock in locks:
         for w in write_ratios:
             key = f"{lock}-{w}%w"
@@ -84,6 +86,7 @@ def figure9(
                     iters_per_thread=iters_per_thread, seed=seed,
                     registry=registry, tracer=take_tracer(),
                     sample_interval=sample_interval,
+                    profiler=take_profiler(),
                 )
                 vals.append(r.cycles_per_cs)
                 hub_util[key] = r.hub_utilisation
@@ -117,6 +120,7 @@ def figure10(
     registry=None,
     tracer=None,
     sample_interval: int = 0,
+    profiler=None,
 ) -> FigureResult:
     """CS execution time, LCU vs software locks (Fig 10).  Thread counts
     above 32 oversubscribe the cores and expose the queue-lock
@@ -124,6 +128,7 @@ def figure10(
     cfg_base = _model(model)
     series: Dict[str, List[float]] = {}
     take_tracer = _trace_once(tracer)
+    take_profiler = _trace_once(profiler)
     for lock in locks:
         ratios = write_ratios if lock in ("lcu", "mrsw", "ssb") else (100,)
         for w in ratios:
@@ -142,6 +147,7 @@ def figure10(
                     iters_per_thread=iters_per_thread, seed=seed,
                     registry=registry, tracer=take_tracer(),
                     sample_interval=sample_interval,
+                    profiler=take_profiler(),
                 )
                 vals.append(r.cycles_per_cs)
             series[key] = vals

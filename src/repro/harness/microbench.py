@@ -73,6 +73,7 @@ def run_microbench(
     registry=None,
     tracer=None,
     sample_interval: int = 0,
+    profiler=None,
 ) -> MicrobenchResult:
     """Run the single-lock critical-section benchmark.
 
@@ -84,8 +85,10 @@ def run_microbench(
     ``registry`` (a :class:`repro.obs.MetricsRegistry`) collects machine
     counters and the acquire-latency histogram; ``tracer`` (a
     :class:`repro.obs.SpanTracer`) records per-thread acquire / CS spans
-    and network message spans.  Both default to off and cost nothing
-    when absent.
+    and network message spans; ``profiler`` (a
+    :class:`repro.obs.profile.ContentionProfiler`) attributes acquire
+    latency to protocol phases via hardware probes.  All default to off
+    and cost nothing when absent.
     """
     if mode not in ("iterations", "duration"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -98,6 +101,9 @@ def run_microbench(
         attach_machine_metrics(machine, registry, sample_interval)
     if tracer is not None:
         tracer.attach(machine)
+    if profiler is not None:
+        profiler.attach_machine(machine)
+        profiler.attach_algorithm(algo)
 
     per_thread_cs = [0] * threads
     writer_cs = [0]
@@ -121,13 +127,22 @@ def run_microbench(
                     sid = tracer.begin(
                         "acquire", cat="lock", track=track, write=write
                     )
-                yield from algo.lock(thread, handle, write)
+                if profiler is not None:
+                    # observed wrappers fire at the same instants as the
+                    # t0 capture / histogram add (no yields in between),
+                    # so profiled latency == measured latency exactly
+                    yield from algo.acquire(thread, handle, write)
+                else:
+                    yield from algo.lock(thread, handle, write)
                 acquire_lat.add(sim.now - t0)
                 if tracer is not None:
                     tracer.end(sid)
                     sid = tracer.begin("cs", cat="lock", track=track)
                 yield ops.Compute(cs_cycles)
-                yield from algo.unlock(thread, handle, write)
+                if profiler is not None:
+                    yield from algo.release(thread, handle, write)
+                else:
+                    yield from algo.unlock(thread, handle, write)
                 if tracer is not None:
                     tracer.end(sid)
                 per_thread_cs[index] += 1
@@ -150,7 +165,7 @@ def run_microbench(
     for i in range(threads):
         os_.spawn(worker_factory(i))
     elapsed = os_.run_all(max_cycles=max_cycles)
-    if registry is not None:
+    if registry is not None and registry.is_sampling:
         # the self-rescheduling sample tick would otherwise keep the
         # event queue busy and force drain() to its cycle cap
         registry.sample(machine.sim.now)
@@ -165,7 +180,7 @@ def run_microbench(
         registry.histogram(
             "bench.acquire_latency", bucket_width=acquire_lat.bucket_width
         ).merge(acquire_lat)
-    finish_run(machine, registry, tracer)
+    finish_run(machine, registry, tracer, profiler=profiler)
     return MicrobenchResult(
         lock=lock_name,
         model=config.name,
@@ -180,9 +195,15 @@ def run_microbench(
         hub_utilisation=machine.net.hub_utilisation(),
         writer_cs=writer_cs[0],
         reader_cs=reader_cs[0],
-        acquire_latency_p50=acquire_lat.percentile(50),
-        acquire_latency_p95=acquire_lat.percentile(95),
-        acquire_latency_p99=acquire_lat.percentile(99),
+        acquire_latency_p50=(
+            0.0 if acquire_lat.empty else acquire_lat.percentile(50)
+        ),
+        acquire_latency_p95=(
+            0.0 if acquire_lat.empty else acquire_lat.percentile(95)
+        ),
+        acquire_latency_p99=(
+            0.0 if acquire_lat.empty else acquire_lat.percentile(99)
+        ),
     )
 
 

@@ -85,10 +85,21 @@ class LockControlUnit:
         #: "transfer", "timeout") — the attachment point for
         #: :class:`repro.check.invariants.InvariantMonitor`
         self.observer: Optional[Callable[[str, int, int, bool], None]] = None
+        #: optional timestamp hook ``fn(event, addr, tid, write)`` fired at
+        #: phase boundaries ("req_sent", "grant_sent", "grant_recv") — the
+        #: attachment point for
+        #: :class:`repro.obs.profile.ContentionProfiler`.  Kept separate
+        #: from :attr:`observer` so the conformance monitor and the
+        #: profiler can coexist.
+        self.probe: Optional[Callable[[str, int, int, bool], None]] = None
 
     def _observe(self, event: str, addr: int, tid: int, write: bool) -> None:
         if self.observer is not None:
             self.observer(event, addr, tid, write)
+
+    def _probe(self, event: str, addr: int, tid: int, write: bool) -> None:
+        if self.probe is not None:
+            self.probe(event, addr, tid, write)
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -196,6 +207,7 @@ class LockControlUnit:
             if e is None:
                 return False
             e.status = ISSUED
+            self._probe("req_sent", addr, tid, write)
             self._send_lrt(
                 addr,
                 msg.Request(
@@ -300,6 +312,7 @@ class LockControlUnit:
         if e is None:
             return False
         e.status = ISSUED
+        self._probe("req_sent", addr, tid, write)
         self._send_lrt(
             addr, msg.Request(addr, Who(tid, self.lcu_id, write), e.nonblocking)
         )
@@ -336,6 +349,7 @@ class LockControlUnit:
         assert nxt is not None
         self.stats["transfers"] += 1
         self._observe("transfer", e.addr, nxt.tid, nxt.write)
+        self._probe("grant_sent", e.addr, nxt.tid, nxt.write)
         self._send_lcu(
             nxt.lcu,
             msg.Grant(
@@ -422,6 +436,7 @@ class LockControlUnit:
                 raise ProtocolError(f"overflow grant in status {e.status}")
             e.status = RCV
             e.overflow = True
+            self._probe("grant_recv", m.addr, m.tid, e.write)
             self._arm_timer(e)
             self._fire(m.addr, m.tid)
             return
@@ -432,6 +447,7 @@ class LockControlUnit:
                 raise ProtocolError(f"share grant to writer entry {e!r}")
             if e.status in (ISSUED, WAIT):
                 e.status = RCV
+                self._probe("grant_recv", m.addr, m.tid, e.write)
                 self._arm_timer(e)
                 self._propagate_share(e)
                 self._fire(m.addr, m.tid)
@@ -448,6 +464,7 @@ class LockControlUnit:
         if e.status in (ISSUED, WAIT):
             e.status = RCV
             e.head = True
+            self._probe("grant_recv", m.addr, m.tid, e.write)
             self._arm_timer(e)
             if not m.from_lrt:
                 self._notify_head(e)
@@ -465,6 +482,7 @@ class LockControlUnit:
         elif e.status == RD_REL:
             # Token bypasses a silently-released intermediate reader.
             if e.next is not None:
+                self._probe("grant_sent", e.addr, e.next.tid, e.next.write)
                 self._send_lcu(
                     e.next.lcu,
                     msg.Grant(
@@ -500,6 +518,7 @@ class LockControlUnit:
 
     def _propagate_share(self, e: LcuEntry) -> None:
         if e.next is not None and not e.next.write:
+            self._probe("grant_sent", e.addr, e.next.tid, False)
             self._send_lcu(
                 e.next.lcu,
                 msg.Grant(e.addr, e.next.tid, head=False, gen=e.gen),
@@ -530,6 +549,7 @@ class LockControlUnit:
             del self._flt[m.addr]
             self.stats["transfers"] += 1
             gen = max(parked[2], m.gen) + 1
+            self._probe("grant_sent", m.addr, m.req.tid, m.req.write)
             self._send_lcu(
                 m.req.lcu,
                 msg.Grant(
@@ -564,6 +584,7 @@ class LockControlUnit:
             # Release/enqueue race (paper III-A): hand the lock straight
             # to the forwarded requestor.
             self.stats["transfers"] += 1
+            self._probe("grant_sent", m.addr, m.req.tid, m.req.write)
             self._send_lcu(
                 m.req.lcu,
                 msg.Grant(
@@ -583,6 +604,7 @@ class LockControlUnit:
             and e.status in (RCV, ACQ, RD_REL)
         ):
             # Tail holds (or is inside) an active read run: share the lock.
+            self._probe("grant_sent", m.addr, m.req.tid, False)
             self._send_lcu(
                 m.req.lcu,
                 msg.Grant(m.addr, m.req.tid, head=False, gen=e.gen),

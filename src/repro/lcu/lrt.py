@@ -112,10 +112,18 @@ class LockReservationTable:
         #: decisions ("grant", "overflow_grant", "forward", "retry") —
         #: the attachment point for the invariant monitor
         self.observer: Optional[Callable[[str, int, int, bool], None]] = None
+        #: optional timestamp hook ``fn(event, addr, tid, write)`` fired
+        #: at phase boundaries ("enqueue", "grant_sent") — the attachment
+        #: point for :class:`repro.obs.profile.ContentionProfiler`
+        self.probe: Optional[Callable[[str, int, int, bool], None]] = None
 
     def _observe(self, event: str, addr: int, tid: int, write: bool) -> None:
         if self.observer is not None:
             self.observer(event, addr, tid, write)
+
+    def _probe(self, event: str, addr: int, tid: int, write: bool) -> None:
+        if self.probe is not None:
+            self.probe(event, addr, tid, write)
 
     # ------------------------------------------------------------------ #
     # table management
@@ -241,6 +249,7 @@ class LockReservationTable:
             e = self._install(m.addr)
             e.head = e.tail = req
             e.gen = 1
+            self._probe("enqueue", m.addr, req.tid, req.write)
             self._grant(req, m.addr, head=True, gen=1)
             return
 
@@ -261,6 +270,7 @@ class LockReservationTable:
             e.head = e.tail = req
             e.gen += 1
             confirm = req.write and e.reader_cnt > 0
+            self._probe("enqueue", m.addr, req.tid, req.write)
             self._grant(req, m.addr, head=True, gen=e.gen, confirm=confirm)
             return
 
@@ -281,6 +291,8 @@ class LockReservationTable:
                 e.reader_cnt += 1
                 self.stats["overflow_grants"] += 1
                 self._observe("overflow_grant", m.addr, req.tid, req.write)
+                self._probe("enqueue", m.addr, req.tid, req.write)
+                self._probe("grant_sent", m.addr, req.tid, req.write)
                 self._send_lcu(
                     req.lcu,
                     msg.Grant(
@@ -317,6 +329,7 @@ class LockReservationTable:
             # enqueues behind this reader.)
             self.stats["grants"] += 1
             self._observe("grant", m.addr, req.tid, req.write)
+            self._probe("grant_sent", m.addr, req.tid, req.write)
             self._send_lcu(
                 req.lcu,
                 msg.Grant(m.addr, req.tid, head=False, gen=e.gen,
@@ -328,6 +341,7 @@ class LockReservationTable:
         assert e.tail is not None
         self.stats["forwards"] += 1
         self._observe("forward", addr, req.tid, req.write)
+        self._probe("enqueue", addr, req.tid, req.write)
         fwd = msg.FwdRequest(
             addr=addr,
             tail_tid=e.tail.tid,
@@ -372,6 +386,7 @@ class LockReservationTable:
     ) -> None:
         self.stats["grants"] += 1
         self._observe("grant", addr, req.tid, req.write)
+        self._probe("grant_sent", addr, req.tid, req.write)
         self._send_lcu(
             req.lcu,
             msg.Grant(

@@ -51,8 +51,26 @@ class LockAlgorithm:
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         # callbacks ``fn(event, thread, handle, write)`` where event is
-        # one of "request", "acquire", "release", "abandon"
+        # one of "request", "acquire", "release", "abandon", or the
+        # optional "enqueued" fired by queue locks when the thread has
+        # joined the wait queue (observers must ignore unknown events)
         self.observers: List[Any] = []
+
+    # -- identity ---------------------------------------------------------- #
+
+    def lock_id(self, handle: Any) -> Any:
+        """Stable identifier for the lock behind ``handle`` — the key the
+        profiler correlates thread-level observer events with hardware
+        probe events on.  For hardware locks the handle *is* the lock
+        address; software handles expose their primary word."""
+        if isinstance(handle, int):
+            return handle
+        addr = getattr(handle, "addr", None)
+        if isinstance(addr, int):
+            return addr
+        if isinstance(handle, tuple) and handle and isinstance(handle[0], int):
+            return handle[0]        # NamedTuple handles: first word
+        return id(handle)
 
     # -- observation ------------------------------------------------------- #
 

@@ -61,6 +61,7 @@ class ClhLock(LockAlgorithm):
         node = self._node_for(handle, thread.tid)
         yield ops.Store(node, 1)               # locked
         pred = yield swap(handle.tail, node)
+        self.notify("enqueued", thread, handle, write)
         # remember the predecessor node: we adopt it after release
         thread.stats[("clh_pred", handle.tail)] = pred
         while True:

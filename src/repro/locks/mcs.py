@@ -74,6 +74,7 @@ class McsLock(LockAlgorithm):
         yield ops.Store(node.next, 0)
         yield ops.Store(node.locked, 1)
         pred = yield swap(handle.tail, node.base)
+        self.notify("enqueued", thread, handle, write)
         if pred == 0:
             return
         yield ops.Store(_Node(pred).next, node.base)

@@ -66,11 +66,15 @@ class MrswLock(LockAlgorithm):
     # ------------------------------------------------------------------ #
     # queue plumbing shared by both modes
 
-    def _enqueue(self, node: _Node, handle: MrswHandle, cls: int) -> Generator:
+    def _enqueue(
+        self, node: _Node, handle: MrswHandle, cls: int, thread=None
+    ) -> Generator:
         yield ops.Store(node.next, 0)
         yield ops.Store(node.locked, 1)
         yield ops.Store(node.cls, cls)
         pred = yield swap(handle.tail, node.base)
+        if thread is not None:
+            self.notify("enqueued", thread, handle, cls == _CLS_WRITER)
         if pred == 0:
             yield ops.Store(node.locked, 0)
             return
@@ -100,7 +104,7 @@ class MrswLock(LockAlgorithm):
     def lock(self, thread: SimThread, handle: MrswHandle, write: bool) -> Generator:
         node = self._node(handle, thread.tid)
         cls = _CLS_WRITER if write else _CLS_READER
-        yield from self._enqueue(node, handle, cls)
+        yield from self._enqueue(node, handle, cls, thread)
         if write:
             # Head of queue: wait for active readers to drain, then hold
             # the head until write_unlock.

@@ -37,6 +37,7 @@ class TicketLock(LockAlgorithm):
 
     def lock(self, thread: SimThread, handle: TicketHandle, write: bool) -> Generator:
         ticket = yield fetch_add(handle.next_ticket, 1)
+        self.notify("enqueued", thread, handle, write)
         while True:
             serving = yield ops.Load(handle.now_serving)
             if serving == ticket:

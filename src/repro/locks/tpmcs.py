@@ -96,6 +96,7 @@ class TpMcsLock(LockAlgorithm):
             yield ops.Store(node.state, _WAITING)
             yield ops.Store(node.time, sim.now)
             pred = yield swap(handle.tail, node.base)
+            self.notify("enqueued", thread, handle, write)
             if pred == 0:
                 return
             yield ops.Store(_Node(pred).next, node.base)

@@ -63,6 +63,10 @@ class Network:
 
         self.messages_sent = 0
         self.inter_chip_messages = 0
+        #: optional hook ``fn(src, dst, payload, inter_chip)`` observing
+        #: every injection — the profiler's per-lock message attribution
+        #: point (payloads carrying an ``addr`` identify their lock)
+        self.probe: Optional[Callable[[Endpoint, Endpoint, Any, bool], None]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -106,6 +110,11 @@ class Network:
         if dst not in self._handlers:
             raise KeyError(f"no handler registered for endpoint {dst}")
         self.messages_sent += 1
+        if self.probe is not None:
+            self.probe(
+                src, dst, payload,
+                src != dst and self._chip_of(src) != self._chip_of(dst),
+            )
 
         def deliver() -> None:
             self._handlers[dst](src, payload)

@@ -14,13 +14,26 @@ The observability layer of the reproduction (see README "Observability"):
 * :mod:`repro.obs.instrument` — attaches gauges to a live machine and
   harvests every component's counters after a run; all instrumentation
   is pull-based, so uninstrumented runs pay nothing.
+* :mod:`repro.obs.profile` — :class:`ContentionProfiler`: per-lock
+  acquire-latency decomposition (enqueue → queue-wait → transfer →
+  handoff → critical-section), queue-depth timelines, critical-path
+  extraction, folded-stack / Chrome-trace export
+  (``python -m repro profile``).
+* :mod:`repro.obs.diff` — structural RunReport diffing with relative-
+  threshold regression verdicts (``python -m repro diff``).
 """
 
+from repro.obs.diff import RunReportDiff, diff_run_reports
 from repro.obs.instrument import (
     attach_machine_metrics,
     finish_run,
     harvest_machine_metrics,
     harvest_stm_metrics,
+)
+from repro.obs.profile import (
+    ContentionProfiler,
+    ProfileError,
+    validate_profile,
 )
 from repro.obs.registry import Counter, Gauge, MetricError, MetricsRegistry
 from repro.obs.report import (
@@ -44,4 +57,6 @@ __all__ = [
     "RUN_REPORT_SCHEMA", "RUN_REPORT_VERSION", "RUN_REPORT_KINDS",
     "attach_machine_metrics", "harvest_machine_metrics",
     "harvest_stm_metrics", "finish_run",
+    "ContentionProfiler", "ProfileError", "validate_profile",
+    "RunReportDiff", "diff_run_reports",
 ]

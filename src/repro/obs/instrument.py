@@ -159,12 +159,13 @@ def finish_run(
     registry: Optional[MetricsRegistry],
     tracer=None,
     stm=None,
+    profiler=None,
 ) -> None:
     """Common post-run teardown used by the harness entry points: stop
     gauge sampling, take a final sample, harvest counters, drop in-flight
-    message spans and unwrap the tracer."""
+    message spans, unwrap the tracer and detach the profiler's probes."""
     if registry is not None:
-        if registry._sampling:
+        if registry.is_sampling:
             registry.sample(machine.sim.now)
         registry.stop_sampling()
         harvest_machine_metrics(machine, registry)
@@ -173,3 +174,5 @@ def finish_run(
     if tracer is not None:
         tracer.abandon_open()
         tracer.detach()
+    if profiler is not None:
+        profiler.detach()

@@ -178,8 +178,17 @@ class MetricsRegistry:
         sim.after(interval, tick)
 
     def stop_sampling(self) -> None:
+        """Stop periodic sampling.  Idempotent: safe before any
+        :meth:`start_sampling` and safe to call repeatedly.  Any
+        in-flight tick becomes inert (generation bump), so stopping
+        mid-run leaves no live events behind."""
         self._sampling = False
         self._sample_gen += 1
+
+    @property
+    def is_sampling(self) -> bool:
+        """Whether a periodic sampling schedule is currently active."""
+        return self._sampling
 
     # ------------------------------------------------------------------ #
     # export

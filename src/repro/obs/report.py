@@ -9,11 +9,11 @@ dump).  The schema is versioned so downstream tooling — including the
 repo's own ``BENCH_telemetry.json`` perf-trajectory baseline — can evolve
 without guessing.
 
-Top-level shape (version 1)::
+Top-level shape (version 2)::
 
     {
       "schema": "repro.run-report",
-      "version": 1,
+      "version": 2,
       "kind": "microbench" | "stm" | "app" | "figure",
       "config": {...},          # machine model + harness parameters
       "results": {...},         # harness result fields, JSON-safe
@@ -23,8 +23,13 @@ Top-level shape (version 1)::
         "histograms": {name: {count, mean, min, max, bucket_width,
                               percentiles: {pN: number}}},
         "series": {name: [[t, value], ...]}
-      }
+      },
+      "profile": {...}          # optional: ContentionProfiler.to_dict()
     }
+
+Version 1 (no ``profile`` section) is still accepted everywhere —
+``BENCH_telemetry.json`` baselines stay valid and diffable.  Reports
+are always *written* at version 2.
 
 ``validate_run_report`` is the single source of truth for the schema;
 the CLI (``python -m repro report``), the smoke tests and the golden
@@ -38,7 +43,8 @@ import json
 from typing import Any, Dict, List, Optional
 
 RUN_REPORT_SCHEMA = "repro.run-report"
-RUN_REPORT_VERSION = 1
+RUN_REPORT_VERSION = 2
+RUN_REPORT_SUPPORTED_VERSIONS = (1, 2)
 RUN_REPORT_KINDS = ("microbench", "stm", "app", "figure")
 
 _NUMBER = (int, float)
@@ -77,12 +83,15 @@ def build_run_report(
     config: Any,
     results: Any,
     metrics: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble (and validate) a RunReport dict.
 
     ``config`` and ``results`` may be dataclasses or dicts; values are
     coerced to JSON-safe types.  ``metrics`` is a
-    ``MetricsRegistry.to_dict()`` dump (empty sections if omitted).
+    ``MetricsRegistry.to_dict()`` dump (empty sections if omitted);
+    ``profile`` is a ``ContentionProfiler.to_dict()`` section (omitted
+    from the report when None).
     """
     report = {
         "schema": RUN_REPORT_SCHEMA,
@@ -94,13 +103,15 @@ def build_run_report(
             "counters": {}, "gauges": {}, "histograms": {}, "series": {},
         },
     }
+    if profile is not None:
+        report["profile"] = profile
     validate_run_report(report)
     return report
 
 
 def validate_run_report(report: Any) -> None:
     """Raise :class:`ReportValidationError` if ``report`` is not a valid
-    version-1 RunReport."""
+    RunReport of any supported schema version."""
     errors: List[str] = []
 
     def err(msg: str) -> None:
@@ -110,8 +121,9 @@ def validate_run_report(report: Any) -> None:
         raise ReportValidationError(["report must be a JSON object"])
     if report.get("schema") != RUN_REPORT_SCHEMA:
         err(f"schema must be {RUN_REPORT_SCHEMA!r}")
-    if report.get("version") != RUN_REPORT_VERSION:
-        err(f"version must be {RUN_REPORT_VERSION}")
+    version = report.get("version")
+    if version not in RUN_REPORT_SUPPORTED_VERSIONS:
+        err(f"version must be one of {RUN_REPORT_SUPPORTED_VERSIONS}")
     if report.get("kind") not in RUN_REPORT_KINDS:
         err(f"kind must be one of {RUN_REPORT_KINDS}")
     for section in ("config", "results"):
@@ -160,6 +172,17 @@ def validate_run_report(report: Any) -> None:
                         err(f"metrics.series[{name!r}] entries must be "
                             f"[time, value] pairs")
                         break
+
+    profile = report.get("profile")
+    if profile is not None:
+        if version == 1:
+            err("'profile' section requires version 2")
+        else:
+            from repro.obs.profile import ProfileError, validate_profile
+            try:
+                validate_profile(profile)
+            except ProfileError as e:
+                err(f"profile: {e}")
 
     if errors:
         raise ReportValidationError(errors)
@@ -218,4 +241,12 @@ def summarize_run_report(report: Dict[str, Any], top: int = 12) -> str:
     nseries = len(metrics["series"])
     if nhist or nseries:
         lines.append(f"histograms: {nhist}, time series: {nseries}")
+    profile = report.get("profile")
+    if profile:
+        locks = profile.get("locks", {})
+        total = sum(d.get("acquisitions", 0) for d in locks.values())
+        lines.append(
+            f"profile: {len(locks)} lock(s), {total} acquisitions "
+            f"(see `repro profile` for the decomposition)"
+        )
     return "\n".join(lines)

@@ -122,11 +122,22 @@ class Histogram:
         self.acc.merge(other.acc)
         return self
 
+    @property
+    def empty(self) -> bool:
+        return self.acc.n == 0
+
     def percentile(self, p: float) -> float:
         """Approximate percentile, p in [0, 100], interpolating linearly
-        within the bucket the target rank falls into."""
+        within the bucket the target rank falls into.
+
+        Raises ``ValueError`` on an empty histogram (a percentile of
+        nothing is undefined; 0.0 would be silently wrong) and for p
+        outside [0, 100].  Callers that want a sentinel should check
+        :attr:`empty` first."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile p must be in [0, 100], got {p}")
         if not self.buckets:
-            return 0.0
+            raise ValueError("percentile of an empty histogram is undefined")
         target = self.acc.n * p / 100.0
         seen = 0
         for b in sorted(self.buckets):
@@ -138,14 +149,16 @@ class Histogram:
         return (max(self.buckets) + 1) * self.bucket_width
 
     def summary(self, percentiles: Iterable[float] = (50, 90, 95, 99)) -> Dict:
-        """JSON-friendly summary used by run reports."""
+        """JSON-friendly summary used by run reports.  An empty histogram
+        reports an empty ``percentiles`` table rather than fabricating
+        zeros that would read as real (excellent) latencies."""
         return {
             "count": self.acc.n,
             "mean": self.acc.mean,
             "min": self.acc.min if self.acc.min is not None else 0.0,
             "max": self.acc.max if self.acc.max is not None else 0.0,
             "bucket_width": self.bucket_width,
-            "percentiles": {
+            "percentiles": {} if self.empty else {
                 f"p{g:g}": self.percentile(g) for g in percentiles
             },
         }

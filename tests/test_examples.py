@@ -63,6 +63,18 @@ class TestExamples:
         assert (tmp_path / "metrics.json").exists()
         assert (tmp_path / "trace.json").exists()
 
+    @pytest.mark.profile
+    def test_profiling_demo(self, tmp_path):
+        out = run_example(
+            "profiling_demo.py", "--threads", "6", "--iters", "15",
+            "--outdir", str(tmp_path),
+        )
+        assert "100.00% of end-to-end acquire latency" in out
+        assert "regression view: mcs vs lcu" in out
+        assert "profiling demo OK" in out
+        assert (tmp_path / "lcu.folded").exists()
+        assert (tmp_path / "mcs.folded").exists()
+
     def test_protocol_walkthrough(self):
         out = run_example("protocol_walkthrough.py")
         assert "Figure 4" in out and "Figure 5" in out and "Figure 6" in out

@@ -97,8 +97,12 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram(bucket_width=0)
 
-    def test_empty_percentile(self):
-        assert Histogram().percentile(99) == 0.0
+    def test_empty_percentile_raises(self):
+        # no silent garbage: percentiles of an empty histogram are
+        # undefined (callers check .empty first)
+        with pytest.raises(ValueError, match="empty histogram"):
+            Histogram().percentile(99)
+        assert Histogram().empty
 
     def test_percentile_interpolates_within_bucket(self):
         h = Histogram(bucket_width=100)
