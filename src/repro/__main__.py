@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 
 from repro.apps.base import all_apps, run_app
@@ -439,6 +440,50 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.nemesis import (
+        DEFAULT_ALGOS, DEFAULT_MODELS, run_matrix,
+    )
+    from repro.faults.plan import ALL_CLASSES
+
+    algos = args.algos.split(",") if args.algos else list(DEFAULT_ALGOS)
+    models = args.models.split(",") if args.models else list(DEFAULT_MODELS)
+    classes = args.classes.split(",") if args.classes else None
+    for cls in classes or []:
+        if cls not in ALL_CLASSES:
+            print(f"unknown fault class {cls!r} "
+                  f"(known: {', '.join(ALL_CLASSES)})")
+            return 2
+
+    def progress(cell) -> None:
+        mark = {"recovered": ".", "degraded": "~", "violated": "X"}
+        detail = f"  [{cell.detail}]" if cell.detail else ""
+        print(f"{mark[cell.outcome]} {cell.fault:9s} {cell.algo:7s} "
+              f"model {cell.model}: {cell.outcome:9s} "
+              f"inj={cell.injected:<4d} {cell.elapsed:>8d} cyc{detail}")
+
+    result = run_matrix(
+        algos=algos, models=models, classes=classes, seed=args.seed,
+        threads=args.threads, iters=args.iters, horizon=args.horizon,
+        progress=progress,
+    )
+    counts = result.counts
+    print(f"\n{len(result.cells)} cells: "
+          f"{counts['recovered']} recovered, "
+          f"{counts['degraded']} degraded, "
+          f"{counts['violated']} violated")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=1, sort_keys=True)
+        print(f"nemesis report: {args.out}")
+    if not result.ok:
+        for cell in result.violated():
+            print(f"VIOLATED {cell.fault}/{cell.algo}/model {cell.model}: "
+                  f"{cell.detail}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -571,6 +616,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a Chrome trace-event JSON (open spans "
                          "are flushed, not dropped, on a violation)")
     ck.set_defaults(fn=cmd_check)
+
+    fl = sub.add_parser(
+        "faults",
+        help="run the nemesis matrix: deterministic fault injection "
+             "(fault classes x lock algorithms x machine models)",
+    )
+    fl.add_argument("--algos", default=None,
+                    help="comma-separated algorithm list "
+                         "(default: lcu,lcu_fb,mcs,clh,ticket,mrsw)")
+    fl.add_argument("--models", default=None,
+                    help="comma-separated model list (default: A,B)")
+    fl.add_argument("--classes", default=None,
+                    help="comma-separated fault classes (default: all "
+                         "applicable per algorithm)")
+    fl.add_argument("--seed", type=int, default=0,
+                    help="matrix seed (every cell derives from it)")
+    fl.add_argument("--threads", type=int, default=6)
+    fl.add_argument("--iters", type=int, default=30,
+                    help="lock/unlock iterations per thread")
+    fl.add_argument("--horizon", type=int, default=12_000,
+                    help="fault-plan horizon in cycles")
+    fl.add_argument("--out", metavar="FILE", default=None,
+                    help="write the full JSON nemesis report here")
+    fl.set_defaults(fn=cmd_faults)
     return p
 
 

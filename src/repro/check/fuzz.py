@@ -40,7 +40,8 @@ from repro.params import MachineConfig, model_a, model_b, small_test_model
 _MODELS = {"A": model_a, "B": model_b, "T": small_test_model}
 
 #: reproducer format version (bump when FuzzCase fields change shape)
-FORMAT = 1
+#: 2: optional ``faults`` fault-plan dict (format-1 docs still load)
+FORMAT = 2
 
 
 def make_model(model: str, **overrides) -> MachineConfig:
@@ -83,6 +84,7 @@ class FuzzCase:
     grant_timeout: Optional[int] = None  # override: force timer forwarding
     flt_entries: Optional[int] = None  # override: enable the FLT
     tiebreak_seed: Optional[int] = None
+    faults: Optional[Dict[str, Any]] = None  # FaultPlan dict (repro.faults)
     note: str = ""
 
     def describe(self) -> str:
@@ -105,6 +107,9 @@ class FuzzCase:
             bits.append(f"flt={self.flt_entries}")
         if self.tiebreak_seed is not None:
             bits.append(f"tb={self.tiebreak_seed}")
+        if self.faults is not None:
+            kinds = sorted({e["kind"] for e in self.faults["events"]})
+            bits.append(f"faults={'+'.join(kinds)}")
         return " ".join(bits)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -134,6 +139,10 @@ class CheckOutcome:
     elapsed: int = 0
     total_cs: int = 0
     monitor_stats: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: FaultOutcome list when the case carried a fault plan
+    fault_outcomes: Optional[List[Any]] = None
+    #: injector counters per fault class (what was actually injected)
+    fault_stats: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def summary(self) -> str:
         if self.ok:
@@ -182,7 +191,18 @@ def run_case(
         # top, and wrappers must unwind in LIFO order
         span_tracer.attach(machine)
     monitor = InvariantMonitor(machine, algo, span_tracer=span_tracer)
+    monitor.os = os_  # excuse overtakes of stall-frozen threads
     monitor.attach()
+
+    injector = None
+    if case.faults is not None:
+        # deferred import: repro.faults pulls in repro.check for outcome
+        # verification, so the dependency must stay one-way at load time
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        injector = FaultInjector(machine, os_, FaultPlan.from_dict(case.faults))
+        injector.arm()
 
     per_thread_cs = [0] * case.threads
 
@@ -223,10 +243,15 @@ def run_case(
 
     violation: Optional[InvariantViolation] = None
     elapsed = 0
+    drained = True
     try:
         for i in range(case.threads):
             os_.spawn(worker_factory(i))
         elapsed = os_.run_all(max_cycles=max_cycles)
+        if injector is not None:
+            # let retransmissions / reclaim traffic settle before the
+            # strict quiescence audit
+            drained = injector.drain()
         monitor.finish()
     except InvariantViolation as v:
         violation = v
@@ -254,6 +279,17 @@ def run_case(
         if span_tracer is not None:
             span_tracer.detach()
 
+    fault_outcomes = None
+    fault_stats: Dict[str, int] = {}
+    if injector is not None:
+        failure = None
+        if violation is not None:
+            failure = f"{violation.invariant}: {violation.message}"
+        elif not drained:
+            failure = "reliable layer never drained"
+        fault_outcomes = injector.classify(violation=failure, algorithm=algo)
+        fault_stats = dict(injector.stats)
+
     return CheckOutcome(
         case=case,
         ok=violation is None,
@@ -261,6 +297,8 @@ def run_case(
         elapsed=elapsed or machine.sim.now,
         total_cs=sum(per_thread_cs),
         monitor_stats=stats,
+        fault_outcomes=fault_outcomes,
+        fault_stats=fault_stats,
     )
 
 
@@ -269,12 +307,18 @@ def run_case(
 
 
 def generate_case(
-    rng: random.Random, algo: str, model: str = "T", seed: int = 0
+    rng: random.Random,
+    algo: str,
+    model: str = "T",
+    seed: int = 0,
+    fault_pct: int = 25,
 ) -> FuzzCase:
     """Draw one randomized case.  Read/write mixes only for rw-capable
     algorithms (others run all-writer); trylocks only where supported;
     occasionally oversubscribes cores and shrinks the timeslice to force
-    preemption and migration mid-queue."""
+    preemption and migration mid-queue.  With probability ``fault_pct``%
+    the case carries a seeded fault plan (see :mod:`repro.faults`) — the
+    fuzzer then co-explores fault timing with thread interleaving."""
     cls = get_algorithm(algo)
     threads = rng.randint(2, 8)
     cores = None
@@ -297,6 +341,26 @@ def generate_case(
             grant_timeout = rng.choice([100, 200, 500])
         if rng.random() < 0.2:
             flt_entries = rng.choice([2, 4])
+    faults = None
+    if rng.random() * 100 < fault_pct:
+        from repro.faults.plan import (
+            ALL_CLASSES, LCU_ONLY_CLASSES, MESSAGE_CLASSES, generate_plan,
+        )
+
+        # message/hardware faults only exercise LCU-backed locks; every
+        # algorithm can face scheduling faults
+        pool = (
+            list(ALL_CLASSES) if algo in ("lcu", "lcu_fb")
+            else [c for c in ALL_CLASSES
+                  if c not in MESSAGE_CLASSES + LCU_ONLY_CLASSES]
+        )
+        classes = rng.sample(pool, rng.randint(1, min(3, len(pool))))
+        faults = generate_plan(
+            seed=rng.randrange(1 << 30),
+            classes=classes,
+            horizon=rng.choice([40_000, 100_000, 250_000]),
+            cores=cores if cores is not None else 4,
+        ).to_dict()
     return FuzzCase(
         algo=algo,
         model=model,
@@ -319,6 +383,7 @@ def generate_case(
         grant_timeout=grant_timeout,
         flt_entries=flt_entries,
         tiebreak_seed=rng.randrange(1 << 16) if rng.random() < 0.7 else None,
+        faults=faults,
     )
 
 
@@ -374,6 +439,15 @@ def _candidates(case: FuzzCase) -> List[FuzzCase]:
         variant(think_cycles=0)
     if case.cs_cycles:
         variant(cs_cycles=0)
+    if case.faults is not None:
+        variant(faults=None)
+        kinds = sorted({e["kind"] for e in case.faults["events"]})
+        if len(kinds) > 1:
+            for kind in kinds:
+                kept = [
+                    e for e in case.faults["events"] if e["kind"] != kind
+                ]
+                variant(faults={**case.faults, "events": kept})
     if case.timeslice is not None:
         variant(timeslice=None, cores=None)
     elif case.cores is not None:

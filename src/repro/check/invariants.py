@@ -196,11 +196,14 @@ def audit_lcu_queues(machine, strict: bool = False) -> List[str]:
                 seen.add(key)
                 cur = _lcu_entry_at(machine, addr, nxt)
 
-        # head token: at most one live holder per address
+        # head token: at most one live holder per address.  Overflow-mode
+        # entries are excluded: they are LRT-accounted holders outside
+        # the queue (nonblocking read grants, and readers converted by a
+        # hardened-mode QueueReset), not token carriers.
         heads = [
             (lcu_id, tid)
             for lcu_id, tid, e in nodes
-            if e.head and e.status in (RCV, ACQ)
+            if e.head and e.status in (RCV, ACQ) and not e.overflow
         ]
         if len(heads) > 1:
             problems.append(
@@ -320,6 +323,10 @@ class InvariantMonitor:
 
         self.machine = machine
         self.algo = algo
+        #: optional OS handle (set by harnesses that inject scheduler
+        #: faults): threads frozen by a forced core stall are excused
+        #: from overtake accounting, since they cannot consume a grant
+        self.os = None
         self.audit_stride = max(1, audit_stride)
         self.history = history
         self.overtake_bound = overtake_bound
@@ -418,19 +425,34 @@ class InvariantMonitor:
             oracle.request(tid, write, now)
         elif event == "acquire":
             tracker.enter(write)
-            oracle.acquire(tid, write, now)
+            oracle.acquire(tid, write, now, excused=self._frozen_tids(now))
         elif event == "release":
             tracker.exit(write)
             oracle.release(tid, write, now)
         elif event == "abandon":
             oracle.abandon(tid, now)
 
+    def _frozen_tids(self, now: int) -> Optional[set]:
+        """Tids currently frozen by an injected core stall, or ``None``.
+
+        Only consulted once the OS has recorded a forced stall, so
+        unfaulted runs never pay for (or change behaviour on) this.
+        """
+        if self.os is None or not self.os.forced_stalls:
+            return None
+        frozen = {
+            t.tid for t in self.os.threads
+            if t.frozen or t.freeze_until > now
+        }
+        return frozen or None
+
     def _on_hw_event(self, event: str, addr: int, tid: int,
                      write: bool) -> None:
         self.stats["hw_events"] += 1
-        if event == "timeout":
+        if event in ("timeout", "evict"):
             # The grant timer acted on behalf of an absent thread
-            # (preempted, migrated, or an abandoned trylock): later
+            # (preempted, migrated, or an abandoned trylock), or fault
+            # injection evicted a queue node outright: later
             # acquisitions may legally overtake it, so the oracle's
             # overtake budget for this lock is widened.
             oracle = self.oracles.get(addr)

@@ -19,7 +19,10 @@ still reorders legitimately in small ways (local RD_REL re-acquisition,
 LRT read-sharing with overflow readers, grant-timer forwarding past a
 preempted thread).  Grant-timer timeouts are reported to the oracle via
 :meth:`grant_timeout` and widen the budget further, since each timeout
-represents one waiter the hardware legally skipped.
+represents one waiter the hardware legally skipped.  Waiters that are
+frozen outright by an injected core stall cannot consume a grant at all;
+the monitor passes them as ``excused`` to :meth:`acquire` and passing
+one does not count as an overtake.
 """
 
 from __future__ import annotations
@@ -99,7 +102,8 @@ class RWLockOracle:
         self.waiting[tid] = (self._seq, write, now)
         self.overtaken.setdefault(tid, 0)
 
-    def acquire(self, tid: int, write: bool, now: int) -> None:
+    def acquire(self, tid: int, write: bool, now: int,
+                excused: Optional[set] = None) -> None:
         entry = self.waiting.pop(tid, None)
         if entry is None:
             self._violate(f"tid {tid} acquired at t={now} without a request")
@@ -130,6 +134,11 @@ class RWLockOracle:
         if self.fair:
             for other, (oseq, _w, _t) in self.waiting.items():
                 if oseq < seq:
+                    if excused is not None and other in excused:
+                        # the waiter is frozen by an injected core stall:
+                        # it cannot consume a grant, so passing it is the
+                        # designed behaviour, not an overtake
+                        continue
                     count = self.overtaken.get(other, 0) + 1
                     self.overtaken[other] = count
                     if count > self.max_overtake:

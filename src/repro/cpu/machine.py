@@ -26,6 +26,7 @@ _LCU_MESSAGE_TYPES = (
     lcu_msgs.Grant, lcu_msgs.FwdRequest, lcu_msgs.WaitMsg, lcu_msgs.Retry,
     lcu_msgs.ReleaseAck, lcu_msgs.ReleaseRetry, lcu_msgs.Dealloc,
     lcu_msgs.OvfClear, lcu_msgs.RemoteRelease, lcu_msgs.RemoteReleaseAck,
+    lcu_msgs.QueueReset, lcu_msgs.QueueProbe,
 )
 
 
@@ -104,6 +105,15 @@ class Machine:
         """Let in-flight protocol traffic settle (bounded, so stale OS
         slice timers parked far in the future do not advance the clock)."""
         self.sim.run(until=self.sim.now + max_cycles)
+
+    def harden(
+        self, watchdog_interval: int = 20_000, silence_threshold: int = 50_000
+    ) -> None:
+        """Arm fault tolerance in every LCU and LRT (see repro.faults)."""
+        for lcu in self.lcus:
+            lcu.harden()
+        for lrt in self.lrts:
+            lrt.harden(watchdog_interval, silence_threshold)
 
     # ------------------------------------------------------------------ #
     # invariant checking (used heavily by the test suite)

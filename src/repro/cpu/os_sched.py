@@ -31,7 +31,20 @@ DONE = "done"
 
 
 class DeadlockError(RuntimeError):
-    """The event queue drained while threads were still incomplete."""
+    """The event queue drained while threads were still incomplete.
+
+    The message lists every incomplete thread with its wait state and
+    the last lock-related operation it issued, so a hang under injected
+    stalls/faults points at the wedged protocol step directly."""
+
+
+#: op classes recorded as "last lock op" for deadlock diagnosis — the
+#: synchronisation-relevant subset (lock instructions, atomics, waits)
+_LOCK_OPS = (
+    ops.LcuAcq, ops.LcuRel, ops.LcuEnq, ops.LcuWait,
+    ops.SsbAcq, ops.SsbRel, ops.FutexWait, ops.FutexWake,
+    ops.Rmw, ops.RemoteRmw, ops.WaitLine,
+)
 
 
 class SimThread:
@@ -51,8 +64,12 @@ class SimThread:
         self.epoch = 0          # bumped per dispatch (guards slice timers)
         self.op_seq = 0         # bumped per op issued (guards completions)
         self.current_op: Optional[ops.Op] = None
+        self.last_lock_op: Optional[tuple] = None  # (op, issue cycle)
         self.preemptions = 0
         self.migrations = 0
+        # fault injection: core-stall freeze (see OS.stall_core)
+        self.freeze_until = 0
+        self.frozen = False
         self.stats: Dict[str, Any] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -82,6 +99,10 @@ class OS:
         self.active = 0
         self._futex: Dict[int, Deque[SimThread]] = {}
         self._next_tid = 1
+        # fault injection (repro.faults): cores stalled until a cycle
+        self._stalled_until: Dict[int, int] = {}
+        self.forced_preemptions = 0
+        self.forced_stalls = 0
 
     # ------------------------------------------------------------------ #
     # public API
@@ -109,26 +130,49 @@ class OS:
         self.sim.run(until=max_cycles, stop_when=lambda: self.active == 0)
         if self.active > 0:
             pending = [t for t in self.threads if t.state != DONE]
+            lines = [self._diagnose(t) for t in pending[:16]]
+            more = "" if len(pending) <= 16 else f"\n  ... +{len(pending) - 16} more"
             raise DeadlockError(
                 f"{len(pending)} thread(s) incomplete at cycle "
-                f"{self.sim.now}: {pending[:8]}"
+                f"{self.sim.now}:\n  " + "\n  ".join(lines) + more
             )
         return self.sim.now
+
+    def _diagnose(self, t: SimThread) -> str:
+        """One-line wait-state description of an incomplete thread."""
+        bits = [f"{t.name}(tid={t.tid}) state={t.state} core={t.core}"]
+        if t.cancel_wait is not None:
+            bits.append("spin-waiting")
+        if t.frozen or t.freeze_until > self.sim.now:
+            bits.append(f"frozen_until={t.freeze_until}")
+        if t.core is not None and self._core_stalled(t.core):
+            bits.append(f"core_stalled_until={self._stalled_until[t.core]}")
+        bits.append(f"op={t.current_op!r}")
+        if t.last_lock_op is not None:
+            op, cycle = t.last_lock_op
+            bits.append(f"last_lock_op={op!r}@{cycle}")
+        return " ".join(bits)
 
     # ------------------------------------------------------------------ #
     # dispatching
 
+    def _core_stalled(self, core: int) -> bool:
+        return self._stalled_until.get(core, 0) > self.sim.now
+
     def _dispatch(self) -> None:
-        while self.ready and self.idle_cores:
+        while self.ready:
+            avail = [c for c in self.idle_cores if not self._core_stalled(c)]
+            if not avail:
+                return
             t = self.ready.popleft()
-            core = self._pick_core(t)
+            core = self._pick_core(t, avail)
             self._assign(t, core)
 
-    def _pick_core(self, t: SimThread) -> int:
-        if self.prefer_affinity and t.last_core in self.idle_cores:
+    def _pick_core(self, t: SimThread, avail: List[int]) -> int:
+        if self.prefer_affinity and t.last_core in avail:
             core = t.last_core
         else:
-            core = self.idle_cores[0]
+            core = avail[0]
         self.idle_cores.remove(core)
         return core
 
@@ -184,6 +228,63 @@ class OS:
         self._dispatch()
 
     # ------------------------------------------------------------------ #
+    # fault-injection hooks (repro.faults)
+
+    def force_preempt_all(self, migrate: bool = False) -> None:
+        """Nemesis preemption burst: preempt every running thread now.
+
+        Unlike the slice timer this fires even when no other thread is
+        waiting, forcing each thread through the involuntary-descheduling
+        paths (spin-wait cancellation, LCU grant timers).  With
+        ``migrate`` each thread's affinity is pointed at the next core,
+        so redispatch lands it elsewhere and exercises the
+        migrated-thread release protocol (paper III-C)."""
+        cores = self.machine.config.cores
+        for t in [x for x in self.threads if x.state == RUNNING]:
+            if t.frozen:
+                continue  # stalled mid-op; preempting now would lose it
+            self.forced_preemptions += 1
+            if migrate and t.core is not None:
+                t.last_core = (t.core + 1) % cores
+            if t.cancel_wait is not None:
+                cancel, t.cancel_wait = t.cancel_wait, None
+                cancel()
+                t.op_seq += 1  # kill any in-flight completion for the wait
+                self._preempt(t, False)
+            else:
+                t.preempt_pending = True
+        self._dispatch()
+
+    def stall_core(self, core: int, window: int) -> None:
+        """Nemesis core stall: core ``core`` executes nothing for
+        ``window`` cycles (SMI / hypervisor-style blackout).  A thread
+        running there freezes at its next completion point — in-flight
+        memory/LCU results are preserved and handed over when the stall
+        lifts — and the dispatcher routes ready threads elsewhere."""
+        end = self.sim.now + window
+        if end <= self._stalled_until.get(core, 0):
+            return
+        self.forced_stalls += 1
+        self._stalled_until[core] = end
+        for t in self.threads:
+            if t.core == core and t.state == RUNNING:
+                t.freeze_until = max(t.freeze_until, end)
+                if t.cancel_wait is not None:
+                    # Pure wait in progress (no result to lose): freeze
+                    # immediately and re-poll when the stall lifts.
+                    cancel, t.cancel_wait = t.cancel_wait, None
+                    cancel()
+                    t.op_seq += 1
+                    t.frozen = True
+                    self.sim.at(
+                        end,
+                        lambda t=t, e=t.epoch: self._unfreeze(t, None, e),
+                    )
+        # Ready threads may be queued behind this core: re-dispatch once
+        # the window closes.
+        self.sim.at(end, self._dispatch)
+
+    # ------------------------------------------------------------------ #
     # program driving
 
     def _advance(self, t: SimThread, value: Any) -> None:
@@ -199,6 +300,31 @@ class OS:
     def _op_done(self, t: SimThread, result: Any) -> None:
         t.cancel_wait = None
         if t.state != RUNNING:
+            return
+        if t.freeze_until > self.sim.now:
+            # Core stall (fault injection): the op's result is preserved
+            # and the program resumes from this exact point when the
+            # stall window ends — nothing is lost, only delayed.
+            t.frozen = True
+            epoch = t.epoch
+            self.sim.at(
+                t.freeze_until, lambda: self._unfreeze(t, result, epoch)
+            )
+            return
+        if self.ready and (t.preempt_pending or self.sim.now >= t.slice_end):
+            self._preempt(t, result)
+        else:
+            self._advance(t, result)
+
+    def _unfreeze(self, t: SimThread, result: Any, epoch: int) -> None:
+        if t.epoch != epoch or t.state != RUNNING or not t.frozen:
+            return
+        t.frozen = False
+        if t.freeze_until > self.sim.now:  # stall was extended meanwhile
+            self.sim.at(
+                t.freeze_until, lambda: self._unfreeze(t, result, epoch)
+            )
+            t.frozen = True
             return
         if self.ready and (t.preempt_pending or self.sim.now >= t.slice_end):
             self._preempt(t, result)
@@ -226,6 +352,8 @@ class OS:
         done = self._guarded(t)
         core = t.core
         assert core is not None
+        if isinstance(op, _LOCK_OPS):
+            t.last_lock_op = (op, sim.now)
 
         if isinstance(op, ops.Compute):
             sim.after(max(1, op.cycles), done)

@@ -1,0 +1,27 @@
+"""Deterministic fault injection ("nemesis") for the lock protocols.
+
+Everything here is seeded and replayable: a :class:`FaultPlan` is a
+JSON-serializable schedule of fault events derived from a seed, a
+:class:`FaultInjector` arms it against one machine + OS, and
+:mod:`repro.faults.nemesis` runs the full matrix of fault classes ×
+lock algorithms × machine models, classifying every injection as
+``recovered`` / ``degraded`` / ``violated``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultOutcome
+from repro.faults.nemesis import NemesisResult, run_matrix
+from repro.faults.plan import (
+    ALL_CLASSES,
+    LCU_ONLY_CLASSES,
+    MESSAGE_CLASSES,
+    FaultEvent,
+    FaultPlan,
+    generate_plan,
+)
+
+__all__ = [
+    "ALL_CLASSES", "LCU_ONLY_CLASSES", "MESSAGE_CLASSES",
+    "FaultEvent", "FaultPlan", "generate_plan",
+    "FaultInjector", "FaultOutcome",
+    "NemesisResult", "run_matrix",
+]

@@ -1,0 +1,251 @@
+"""Execute a :class:`~repro.faults.plan.FaultPlan` against one machine.
+
+The injector is the only piece that touches live simulation state:
+
+* message faults install a :class:`~repro.net.reliable.ReliableLayer`
+  over the targeted links and a wire-level fault filter that drops,
+  duplicates or delays **frames only** — raw memory-coherence and SSB
+  traffic is never faulted (the protocol hardening story is about the
+  distributed lock queue, not about building a reliable NoC);
+* hardware-pressure and scheduling faults are scheduled as ordinary
+  simulator events calling the public fault surfaces grown in
+  ``repro.lcu`` / ``repro.cpu.os_sched``.
+
+Determinism: the only randomness is ``random.Random(plan.seed)``
+consumed in simulator event order, which the engine makes deterministic
+— replaying the same (plan, workload seed, tiebreak seed) triple gives
+bit-identical cycle counts and message traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.faults.plan import MESSAGE_CLASSES, FaultEvent, FaultPlan
+from repro.net.reliable import ReliableLayer
+
+Endpoint = Tuple[str, int]
+
+#: bound on point-eviction victims per event (keeps plans comparable
+#: across machine sizes; logged in stats, so never a silent cap)
+_EVICTS_PER_EVENT = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultOutcome:
+    """Post-run verdict for one fault class of a plan.
+
+    ``outcome`` is one of:
+
+    * ``"recovered"`` — workload finished, invariants held, protocol
+      state quiesced; full service restored.
+    * ``"degraded"``  — correct but impaired: the fallback lock engaged,
+      or the LRT absorbed an unresolvable remote release.
+    * ``"violated"``  — an invariant/oracle violation, a deadlock, or
+      protocol traffic that never quiesced.  Never acceptable.
+    """
+
+    kind: str
+    injected: int
+    outcome: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class FaultInjector:
+    """Arms one plan against one (machine, os) pair.
+
+    Lifecycle: construct → :meth:`arm` (before the workload starts) →
+    run the workload → :meth:`drain` → :meth:`classify`.
+    """
+
+    def __init__(self, machine, os_, plan: FaultPlan) -> None:
+        self.machine = machine
+        self.os = os_
+        self.plan = plan
+        self._rng = random.Random(plan.seed * 0x9E3779B1 + 13)
+        self._armed = False
+        self.reliable: Optional[ReliableLayer] = None
+        self.stats: Dict[str, int] = {}
+        self._msg_events: List[FaultEvent] = [
+            e for e in plan.events if e.kind in MESSAGE_CLASSES
+        ]
+
+    # ------------------------------------------------------------------ #
+    # arming
+
+    def arm(self) -> None:
+        """Harden the machine, install the wire fault filter + reliable
+        layer (if the plan faults messages), schedule every event."""
+        assert not self._armed, "injector armed twice"
+        self._armed = True
+        self.machine.harden()
+        sim = self.machine.sim
+        if self._msg_events:
+            self.reliable = ReliableLayer(sim, self._link_covered)
+            self.reliable.attach(self.machine.net)
+            self.machine.net.fault_filter = self._fault_filter
+        for event in self.plan.events:
+            if event.kind in MESSAGE_CLASSES:
+                continue  # window-matched inside the filter
+            sim.at(max(event.at, sim.now + 1),
+                   lambda e=event: self._fire(e))
+
+    def _link_covered(self, src: Endpoint, dst: Endpoint) -> bool:
+        return any(
+            self._link_match(e.links, src, dst) for e in self._msg_events
+        )
+
+    def _link_match(self, links: str, src: Endpoint, dst: Endpoint) -> bool:
+        if links == "all":
+            return True
+        if links == "lcu_lrt":
+            kinds = {src[0], dst[0]}
+            return kinds == {"core", "lrt"} or kinds == {"core"}
+        # "inter_chip": Model B hub links
+        return self.machine._chip_of(src) != self.machine._chip_of(dst)
+
+    # ------------------------------------------------------------------ #
+    # wire fault filter (frames only)
+
+    def _fault_filter(
+        self, src: Endpoint, dst: Endpoint, payload: Any
+    ) -> Iterable[Tuple[int, Any]]:
+        if self.reliable is None or not self.reliable.intercepts(payload):
+            return [(0, payload)]
+        now = self.machine.sim.now
+        copies: List[Tuple[int, Any]] = [(0, payload)]
+        for e in self._msg_events:
+            if not (e.at <= now < e.end):
+                continue
+            if not self._link_match(e.links, src, dst):
+                continue
+            if e.kind == "drop":
+                copies = [
+                    c for c in copies if not self._roll(e.prob, "drop")
+                ]
+            elif e.kind == "dup":
+                copies = copies + [
+                    (delay + self._rng.randrange(1, 64), p)
+                    for delay, p in copies
+                    if self._roll(e.prob, "dup")
+                ]
+            elif e.kind == "delay":
+                copies = [
+                    (delay + self._rng.randrange(1, e.max_delay + 1), p)
+                    if self._roll(e.prob, "delay") else (delay, p)
+                    for delay, p in copies
+                ]
+        return copies
+
+    def _roll(self, prob: float, kind: str) -> bool:
+        hit = self._rng.random() < prob
+        if hit:
+            self._count(kind)
+        return hit
+
+    # ------------------------------------------------------------------ #
+    # point / window events
+
+    def _fire(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == "evict":
+            victims = sorted(
+                (key, i)
+                for i, lcu in enumerate(self.machine.lcus)
+                for key in lcu.evictable_entries()
+            )
+            self._rng.shuffle(victims)
+            for (addr, tid), core in victims[:_EVICTS_PER_EVENT]:
+                if self.machine.lcus[core].force_evict(addr, tid):
+                    self._count("evict")
+        elif kind == "flt_storm":
+            for lcu in self.machine.lcus:
+                while lcu.force_flt_evict():
+                    self._count("flt_storm")
+        elif kind == "capacity":
+            for lcu in self.machine.lcus:
+                lcu.set_forced_capacity(event.limit)
+            self._count("capacity")
+            self.machine.sim.at(
+                max(event.end, self.machine.sim.now + 1),
+                self._lift_capacity,
+            )
+        elif kind == "preempt":
+            self.os.force_preempt_all(migrate=event.migrate)
+            self._count("preempt")
+        elif kind == "stall":
+            self.os.stall_core(
+                event.core % self.machine.config.cores, event.duration
+            )
+            self._count("stall")
+        else:  # pragma: no cover - plan validation rejects unknown kinds
+            raise ValueError(f"unschedulable fault kind {kind!r}")
+
+    def _lift_capacity(self) -> None:
+        for lcu in self.machine.lcus:
+            lcu.set_forced_capacity(None)
+
+    def _count(self, kind: str) -> None:
+        self.stats[kind] = self.stats.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # post-run
+
+    def drain(self, step: int = 50_000, max_steps: int = 20) -> bool:
+        """Let retransmissions and reclaim traffic settle after the
+        workload; returns True when no frame is left pending."""
+        for _ in range(max_steps):
+            self.machine.drain(step)
+            if self.reliable is None or self.reliable.pending_frames() == 0:
+                return True
+        return self.reliable is None or self.reliable.pending_frames() == 0
+
+    def degradation_detail(self, algorithm=None) -> str:
+        """Why (if at all) the run counts as degraded rather than fully
+        recovered."""
+        reasons = []
+        if algorithm is not None:
+            degrades = getattr(algorithm, "stats", {}).get("degrades", 0)
+            if degrades:
+                reasons.append(f"fallback lock engaged x{degrades}")
+        unresolved = sum(
+            lrt.stats.get("unresolved_remote_releases", 0)
+            for lrt in self.machine.lrts
+        )
+        if unresolved:
+            reasons.append(f"unresolved remote releases x{unresolved}")
+        return "; ".join(reasons)
+
+    def classify(
+        self,
+        violation: Optional[str] = None,
+        algorithm=None,
+    ) -> List[FaultOutcome]:
+        """One :class:`FaultOutcome` per fault class in the plan.
+
+        ``violation`` is the workload-level failure (invariant violation,
+        deadlock, hang), or None if it completed and audits passed."""
+        pending = (
+            0 if self.reliable is None else self.reliable.pending_frames()
+        )
+        if violation is None and pending:
+            violation = f"{pending} frames still pending after drain"
+        degraded = self.degradation_detail(algorithm)
+        outcomes = []
+        for kind in self.plan.classes:
+            injected = self.stats.get(kind, 0)
+            if violation is not None:
+                verdict, detail = "violated", violation
+            elif degraded:
+                verdict, detail = "degraded", degraded
+            else:
+                verdict, detail = "recovered", ""
+            outcomes.append(
+                FaultOutcome(kind, injected, verdict, detail)
+            )
+        return outcomes

@@ -1,0 +1,194 @@
+"""The nemesis matrix: fault classes × lock algorithms × machine models.
+
+Each cell runs one seeded workload (via :func:`repro.check.fuzz.run_case`,
+so the full invariant monitor, oracle and quiescence audit are active)
+under a fault plan containing a single fault class, then classifies the
+result.  The acceptance bar is *zero violated cells*: every injected
+fault must end in ``recovered`` (full service, invariants intact) or
+``degraded`` (correct but impaired — e.g. the ``lcu_fb`` fallback path
+engaged).
+
+Everything is derived from one matrix seed, so a report replays
+bit-identically — each cell's plan JSON plus its case seed is a complete
+reproducer, and failing cells can be handed to ``repro check --replay``
+style tooling or shrunk by the fuzzer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.fuzz import FuzzCase, run_case
+from repro.faults.plan import (
+    LCU_ONLY_CLASSES,
+    MESSAGE_CLASSES,
+    SCHED_CLASSES,
+    generate_plan,
+)
+
+#: default algorithm axis: the paper lock, its degradable variant, and
+#: the strongest software baselines (queue locks + reader-writer)
+DEFAULT_ALGOS: Tuple[str, ...] = (
+    "lcu", "lcu_fb", "mcs", "clh", "ticket", "mrsw",
+)
+DEFAULT_MODELS: Tuple[str, ...] = ("A", "B")
+#: classes every algorithm faces; LCU-backed locks additionally face
+#: the hardware-pressure classes
+UNIVERSAL_CLASSES: Tuple[str, ...] = MESSAGE_CLASSES + SCHED_CLASSES
+LCU_ALGOS: Tuple[str, ...] = ("lcu", "lcu_fb")
+
+
+@dataclasses.dataclass
+class NemesisCell:
+    """One (fault class, algorithm, model) run and its verdict."""
+
+    algo: str
+    model: str
+    fault: str
+    seed: int
+    outcome: str               # worst outcome across the cell's faults
+    injected: int
+    detail: str
+    elapsed: int
+    total_cs: int
+    plan: Dict[str, Any]
+    case: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class NemesisResult:
+    """Full matrix report (JSON-able, replayable from ``seed``)."""
+
+    seed: int
+    cells: List[NemesisCell]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {"recovered": 0, "degraded": 0, "violated": 0}
+        for cell in self.cells:
+            out[cell.outcome] = out.get(cell.outcome, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(c.outcome != "violated" for c in self.cells)
+
+    def violated(self) -> List[NemesisCell]:
+        return [c for c in self.cells if c.outcome == "violated"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "counts": self.counts,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+def _cell_seed(seed: int, algo: str, model: str, fault: str) -> int:
+    """Stable per-cell seed (independent of axis ordering)."""
+    return zlib.crc32(f"{seed}:{algo}:{model}:{fault}".encode()) & 0x7FFFFFFF
+
+
+def classes_for(algo: str, classes: Optional[Sequence[str]]) -> List[str]:
+    """The fault-class axis for one algorithm: an explicit list is taken
+    as-is except that hardware-pressure classes are skipped for locks
+    that never touch the LCU (they would inject nothing)."""
+    pool = (
+        list(classes) if classes is not None
+        else list(UNIVERSAL_CLASSES)
+        + (list(LCU_ONLY_CLASSES) if algo in LCU_ALGOS else [])
+    )
+    if algo not in LCU_ALGOS:
+        pool = [c for c in pool if c not in LCU_ONLY_CLASSES]
+    return pool
+
+
+def run_cell(
+    algo: str,
+    model: str,
+    fault: str,
+    seed: int,
+    threads: int = 6,
+    iters: int = 30,
+    horizon: int = 12_000,
+) -> NemesisCell:
+    """Run one matrix cell.  Model B message faults target the scarce
+    inter-chip hub links (the paper's Model B bottleneck); Model A is
+    flat, so they target the core↔LRT protocol links instead."""
+    cseed = _cell_seed(seed, algo, model, fault)
+    links = (
+        "inter_chip"
+        if model == "B" and fault in MESSAGE_CLASSES
+        else "lcu_lrt"
+    )
+    plan = generate_plan(
+        seed=cseed, classes=[fault], horizon=horizon, links=links,
+        cores=4,
+    )
+    case = FuzzCase(
+        algo=algo,
+        model=model,
+        seed=cseed,
+        threads=threads,
+        locks=2,
+        iters=iters,
+        write_pct=60,
+        cs_cycles=250,
+        think_cycles=80,
+        yield_pct=10,
+        tiebreak_seed=cseed & 0xFFFF,
+        faults=plan.to_dict(),
+        note=f"nemesis {fault}/{algo}/{model}",
+    )
+    outcome = run_case(case)
+    worst, detail = "recovered", ""
+    for fo in outcome.fault_outcomes or []:
+        rank = {"recovered": 0, "degraded": 1, "violated": 2}
+        if rank[fo.outcome] > rank[worst]:
+            worst, detail = fo.outcome, fo.detail
+    injected = sum((outcome.fault_stats or {}).values())
+    return NemesisCell(
+        algo=algo,
+        model=model,
+        fault=fault,
+        seed=cseed,
+        outcome=worst,
+        injected=injected,
+        detail=detail,
+        elapsed=outcome.elapsed,
+        total_cs=outcome.total_cs,
+        plan=plan.to_dict(),
+        case=case.to_dict(),
+    )
+
+
+def run_matrix(
+    algos: Sequence[str] = DEFAULT_ALGOS,
+    models: Sequence[str] = DEFAULT_MODELS,
+    classes: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    threads: int = 6,
+    iters: int = 30,
+    horizon: int = 12_000,
+    progress=None,
+) -> NemesisResult:
+    """Run the full nemesis matrix.  Deterministic in its arguments:
+    the report dict is bit-identical across runs with the same inputs."""
+    cells: List[NemesisCell] = []
+    for model in models:
+        for algo in algos:
+            for fault in classes_for(algo, classes):
+                cell = run_cell(
+                    algo, model, fault, seed,
+                    threads=threads, iters=iters, horizon=horizon,
+                )
+                cells.append(cell)
+                if progress is not None:
+                    progress(cell)
+    return NemesisResult(seed=seed, cells=cells)

@@ -1,0 +1,217 @@
+"""Fault plans: seed-derived, JSON-round-trippable fault schedules.
+
+A :class:`FaultPlan` is the *complete* description of a nemesis run:
+given the same plan (and the same workload seed), the injector makes
+bit-identical decisions, so every fault scenario — including ones found
+by the fuzzer — replays exactly from its JSON form.
+
+Fault classes
+-------------
+
+Message faults (windows, applied to frames on matching links only —
+the reliable layer is what makes them survivable):
+
+* ``drop``  — each covered frame in the window is lost with ``prob``.
+* ``dup``   — each covered frame is delivered twice, the extra copy
+  after a small seeded delay (which also exercises reordering).
+* ``delay`` — each covered frame is held up to ``max_delay`` cycles;
+  different delays on different frames reorder them on the wire.
+
+Hardware-pressure faults:
+
+* ``evict``     — point event: force-evict waiting LCU queue entries
+  (paper's eviction case, but adversarially timed).
+* ``flt_storm`` — point event: flush every Free-Lock-Table park,
+  creating a burst of overflow releases.
+* ``capacity``  — window: clamp every LCU's usable entry count to
+  ``limit`` (0 = total allocation failure → fallback-lock territory).
+
+Scheduling faults:
+
+* ``preempt`` — point event: preempt every running thread at once;
+  with ``migrate`` the threads restart on different cores.
+* ``stall``   — window: one core stops executing (SMI / firmware
+  stall); its threads freeze mid-operation and resume after.
+
+``links`` selects which directed endpoint pairs a message fault (and
+the reliable layer protecting them) applies to:
+
+* ``"lcu_lrt"``   — core↔LRT protocol links (the distributed queue).
+* ``"inter_chip"`` — links crossing a chip boundary (Model B's hub
+  links; on Model A this matches nothing for a single-chip config).
+* ``"all"``       — every non-self link carrying protocol messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from typing import Any, Dict, List, Sequence, Tuple
+
+FORMAT = 1
+
+#: message-level fault classes (need the reliable layer)
+MESSAGE_CLASSES: Tuple[str, ...] = ("drop", "dup", "delay")
+#: classes that only make sense for LCU-backed locks
+LCU_ONLY_CLASSES: Tuple[str, ...] = ("evict", "flt_storm", "capacity")
+#: scheduling faults, meaningful for every lock algorithm
+SCHED_CLASSES: Tuple[str, ...] = ("preempt", "stall")
+ALL_CLASSES: Tuple[str, ...] = (
+    MESSAGE_CLASSES + LCU_ONLY_CLASSES + SCHED_CLASSES
+)
+
+LINK_SETS: Tuple[str, ...] = ("lcu_lrt", "inter_chip", "all")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  Point events have ``duration == 0``."""
+
+    kind: str
+    at: int                    # start cycle
+    duration: int = 0          # window length (0 for point events)
+    prob: float = 0.0          # message faults: per-frame probability
+    links: str = "lcu_lrt"     # message faults: which links
+    max_delay: int = 0         # "delay": per-frame delay bound
+    limit: int = 0             # "capacity": forced entry limit
+    core: int = 0              # "stall": which core
+    migrate: bool = False      # "preempt": restart threads elsewhere
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_CLASSES:
+            raise ValueError(f"unknown fault class {self.kind!r}")
+        if self.links not in LINK_SETS:
+            raise ValueError(f"unknown link set {self.links!r}")
+
+    @property
+    def end(self) -> int:
+        return self.at + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultEvent fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A replayable fault schedule.  ``seed`` drives every probabilistic
+    decision the injector makes while executing the plan, so (plan,
+    workload) pairs replay bit-identically."""
+
+    seed: int
+    events: Tuple[FaultEvent, ...]
+    format: int = FORMAT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for e in self.events:
+            if e.kind not in seen:
+                seen.append(e.kind)
+        return tuple(seen)
+
+    def needs_reliable(self) -> bool:
+        return any(e.kind in MESSAGE_CLASSES for e in self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.format,
+            "seed": self.seed,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        unknown = set(data) - {"format", "seed", "events"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        fmt = data.get("format", FORMAT)
+        if fmt != FORMAT:
+            raise ValueError(f"unsupported FaultPlan format {fmt!r}")
+        return cls(
+            seed=data["seed"],
+            events=tuple(
+                FaultEvent.from_dict(e) for e in data["events"]
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def generate_plan(
+    seed: int,
+    classes: Sequence[str] = ALL_CLASSES,
+    horizon: int = 300_000,
+    intensity: float = 1.0,
+    links: str = "lcu_lrt",
+    cores: int = 4,
+) -> FaultPlan:
+    """Derive a fault schedule from ``seed``.
+
+    ``horizon`` should roughly cover the workload's run time; events are
+    placed in its first 80% so recovery has room to complete before the
+    quiescence check.  ``intensity`` scales probabilities and event
+    counts (1.0 = the calibrated default used by the nemesis matrix).
+    """
+    bad = [c for c in classes if c not in ALL_CLASSES]
+    if bad:
+        raise ValueError(f"unknown fault classes: {bad}")
+    rng = random.Random(seed * 0x9E3779B1 + 7)
+    events: List[FaultEvent] = []
+    lo, hi = horizon // 10, (horizon * 8) // 10
+
+    def when() -> int:
+        return rng.randrange(lo, max(lo + 1, hi))
+
+    for kind in classes:
+        count = max(1, round(intensity * (2 if kind in MESSAGE_CLASSES else 1)))
+        for _ in range(count):
+            if kind in MESSAGE_CLASSES:
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    duration=rng.randrange(horizon // 20, horizon // 5),
+                    prob=min(0.9, (0.3 if kind == "drop" else 0.5)
+                             * intensity),
+                    links=links,
+                    max_delay=rng.randrange(200, 2_000)
+                    if kind == "delay" else 0,
+                ))
+            elif kind == "capacity":
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    duration=rng.randrange(horizon // 20, horizon // 6),
+                    limit=rng.choice((0, 1, 2)),
+                ))
+            elif kind == "stall":
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    duration=rng.randrange(2_000, 20_000),
+                    core=rng.randrange(cores),
+                ))
+            elif kind == "preempt":
+                events.append(FaultEvent(
+                    kind=kind, at=when(), migrate=rng.random() < 0.5,
+                ))
+            else:  # evict / flt_storm: point events
+                events.append(FaultEvent(kind=kind, at=when()))
+    events.sort(key=lambda e: (e.at, e.kind))
+    return FaultPlan(seed=seed, events=tuple(events))

@@ -33,6 +33,14 @@ class ProtocolError(RuntimeError):
     handle — indicates a protocol bug (tests rely on this being loud)."""
 
 
+# Generation stride applied by an LRT queue reclaim.  Reclaim opens a new
+# *era* for the lock; the stride is far larger than the transfer-count lag
+# an LRT can accumulate against in-flight LCU-side transfers, so every
+# old-era generation compares below every new-era one and stale grants /
+# forwards can be recognised and dropped.
+RECLAIM_GEN_STRIDE = 1024
+
+
 class LockControlUnit:
     """One LCU, collocated with core ``lcu_id``."""
 
@@ -72,6 +80,22 @@ class LockControlUnit:
         # LRT, restoring the "implicit biasing" of coherence-based locks.
         # addr -> (tid, write, gen).  Empty when config.flt_entries == 0.
         self._flt: Dict[int, Tuple[int, bool, int]] = {}
+
+        # --- hardened mode (fault tolerance; armed by repro.faults) ---
+        #: when True, messages that would indicate a protocol bug in a
+        #: fault-free run (grant for a missing entry, forward to an
+        #: unknown tail) are treated as recoverable fault symptoms
+        self.hardened = False
+        #: addr -> generation of the last QueueReset seen; messages from
+        #: earlier eras are stale and must be dropped, not acted on
+        self._reset_gen: Dict[int, int] = {}
+        #: fault-injection pressure: None, or a temporary cap (< config)
+        #: on the ordinary entry pool (models resource exhaustion)
+        self._forced_capacity: Optional[int] = None
+        #: (addr, tid) pairs whose queue node was forcibly evicted and is
+        #: still dead weight in the LRT's queue: re-requesting before the
+        #: reclaim's QueueReset would enqueue the same node twice
+        self._evicted: set = set()
 
         self.stats: Dict[str, int] = {
             "acquires": 0, "releases": 0, "transfers": 0, "timeouts": 0,
@@ -151,7 +175,10 @@ class LockControlUnit:
     def _alloc(
         self, addr: int, tid: int, write: bool, for_release: bool = False
     ) -> Optional[LcuEntry]:
-        if self._ordinary_in_use < self._config.lcu_ordinary_entries:
+        ordinary_cap = self._config.lcu_ordinary_entries
+        if self._forced_capacity is not None:
+            ordinary_cap = min(ordinary_cap, self._forced_capacity)
+        if self._ordinary_in_use < ordinary_cap:
             kind = ORDINARY
             self._ordinary_in_use += 1
         elif for_release and not self._remote_in_use:
@@ -181,6 +208,80 @@ class LockControlUnit:
         self._fire(e.addr, e.tid)
 
     # ------------------------------------------------------------------ #
+    # fault injection surface (repro.faults; inert unless used)
+
+    def harden(self) -> None:
+        """Switch protocol-bug symptoms (grant for a missing entry, stale
+        forwards) from loud :class:`ProtocolError` to structured recovery
+        via the LRT's orphan-queue reclamation."""
+        self.hardened = True
+
+    def set_forced_capacity(self, limit: Optional[int]) -> None:
+        """Temporarily cap the ordinary entry pool (``None`` restores the
+        configured size) — models entry-table resource exhaustion."""
+        self._forced_capacity = limit
+
+    def evictable_entries(self) -> list:
+        """(addr, tid) pairs whose forced eviction is a *recoverable*
+        fault: waiting queue nodes that hold neither the lock nor the
+        Head token.  Evicting a holder would lose the lock itself, which
+        no protocol can undo — real eviction hardware has the same
+        restriction (only non-owning entries are victim candidates)."""
+        return [
+            key
+            for key, e in self._entries.items()
+            if e.status in (ISSUED, WAIT) and not e.head and e.kind == ORDINARY
+        ]
+
+    def force_evict(self, addr: int, tid: int) -> bool:
+        """Forcibly drop a waiting queue node (fault injection).  The
+        queue is now silently broken: recovery happens when a grant or
+        forward reaches the dead node (GrantNack -> LRT reclaim) or the
+        LRT's idle-queue watchdog notices the silence."""
+        e = self._entries.get((addr, tid))
+        if e is None or e.status not in (ISSUED, WAIT) or e.head:
+            return False
+        self.stats["forced_evictions"] = (
+            self.stats.get("forced_evictions", 0) + 1
+        )
+        self._observe("evict", addr, tid, e.write)
+        # Tombstone until the queue is reclaimed: the dead node is still
+        # linked at the LRT, so a re-request now would put the same
+        # (lcu, tid) in the queue twice.  Must happen before _free — the
+        # freed entry's signal wakes the spinning thread, which retries
+        # its acquire in the same cycle.
+        self._evicted.add((addr, tid))
+        self._free(e)
+        return True
+
+    def force_flt_evict(self, addr: Optional[int] = None) -> bool:
+        """Evict a parked Free Lock Table lock (fault injection): the
+        invisible release becomes visible — the park is flushed to the
+        LRT as an ordinary release, exactly what FLT capacity pressure
+        does in hardware.  Returns False when nothing could be evicted."""
+        if addr is None:
+            if not self._flt:
+                return False
+            addr = next(iter(self._flt))
+        parked = self._flt.get(addr)
+        if parked is None:
+            return False
+        tid, write, gen = parked
+        e = self._alloc(addr, tid, write, for_release=True)
+        if e is None:
+            return False  # no room to materialise the release; keep park
+        del self._flt[addr]
+        e.status = REL
+        e.gen = gen
+        self.stats["flt_forced_evictions"] = (
+            self.stats.get("flt_forced_evictions", 0) + 1
+        )
+        self._send_lrt(
+            addr, msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), False)
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
     # ISA primitives (invoked by the core; cost = config.lcu_latency,
     # charged by the executor)
 
@@ -193,6 +294,15 @@ class LockControlUnit:
         key = (addr, tid)
         e = self._entries.get(key)
         if e is None:
+            if self.hardened and key in self._evicted:
+                # Forcibly-evicted node still queued at the LRT: hold off
+                # re-requesting until the reclaim's QueueReset clears it
+                # (a grant/forward hitting the dead node, or the idle
+                # watchdog, triggers that reclaim).
+                self.stats["tombstoned_acqs"] = (
+                    self.stats.get("tombstoned_acqs", 0) + 1
+                )
+                return False
             parked = self._flt.get(addr)
             if parked is not None and parked[0] == tid and parked[1] == write:
                 # FLT hit: the thread re-acquires its own parked lock with
@@ -417,6 +527,10 @@ class LockControlUnit:
             self._on_remote_release(m)
         elif isinstance(m, msg.RemoteReleaseAck):
             self._on_remote_release_ack(m)
+        elif isinstance(m, msg.QueueReset):
+            self._on_queue_reset(m)
+        elif isinstance(m, msg.QueueProbe):
+            self._on_queue_probe(m)
         else:
             raise ProtocolError(f"LCU{self.lcu_id}: unexpected message {m!r}")
 
@@ -424,8 +538,28 @@ class LockControlUnit:
 
     def _on_grant(self, m: msg.Grant) -> None:
         key = (m.addr, m.tid)
+        if self.hardened and m.gen < self._reset_gen.get(m.addr, 0):
+            # Stale-era grant: its queue was reclaimed.  Acting on it
+            # could put a second Head token in circulation — drop it.
+            self.stats["stale_grants_dropped"] = (
+                self.stats.get("stale_grants_dropped", 0) + 1
+            )
+            return
         e = self._entries.get(key)
         if e is None:
+            if self.hardened:
+                # The queue node this grant targeted is gone (forced
+                # eviction).  Bounce it to the LRT: a lost *head* grant
+                # means the Head token died with the node, and the LRT
+                # must reclaim the orphaned queue.
+                self.stats["grant_nacks"] = (
+                    self.stats.get("grant_nacks", 0) + 1
+                )
+                self._send_lrt(
+                    m.addr,
+                    msg.GrantNack(m.addr, m.tid, self.lcu_id, m.gen, m.head),
+                )
+                return
             raise ProtocolError(
                 f"LCU{self.lcu_id}: grant {m!r} for missing entry"
             )
@@ -528,6 +662,14 @@ class LockControlUnit:
 
     def _on_fwd(self, m: msg.FwdRequest) -> None:
         key = (m.addr, m.tail_tid)
+        if self.hardened and m.gen < self._reset_gen.get(m.addr, 0):
+            # Forward from a reclaimed era: the requestor was rescued by
+            # the QueueReset broadcast and has re-requested; linking it
+            # into the new-era queue through a dead tail would corrupt it.
+            self.stats["stale_fwds_dropped"] = (
+                self.stats.get("stale_fwds_dropped", 0) + 1
+            )
+            return
         e = self._entries.get(key)
         parked = self._flt.get(m.addr)
         if (
@@ -561,6 +703,21 @@ class LockControlUnit:
             )
             return
         if e is None:
+            if self.hardened and key not in self._held_gen:
+                # No entry, no held-generation record, no FLT park: this
+                # LCU has no trace of the named tail *holding* anything.
+                # In a fault-free run re-allocation always finds one of
+                # the three, so the tail node must have been lost to a
+                # fault the LRT has not noticed yet.  Re-allocating would
+                # fabricate a phantom holder; nack instead — the LRT
+                # retries until the queue is reclaimed, at which point
+                # the retry is recognisably stale and dropped.
+                self.stats["phantom_fwds_refused"] = (
+                    self.stats.get("phantom_fwds_refused", 0) + 1
+                )
+                self.stats["fwd_nacks"] += 1
+                self._send_lrt(m.addr, msg.FwdNack(m.addr, m))
+                return
             # We were the uncontended owner; re-allocate (paper Fig. 4b).
             e = self._alloc(m.addr, m.tail_tid, m.tail_write)
             if e is None or e.nonblocking:
@@ -575,6 +732,16 @@ class LockControlUnit:
             e.head = True
             e.gen = max(m.gen, self._held_gen.pop(key, 0))
         if e.next is not None:
+            if self.hardened:
+                if e.next == m.req:
+                    return  # duplicate forward: already linked
+                # Stale forward racing a reclaim: the tail was re-linked
+                # in a newer era.  Drop it — the requestor either was or
+                # will be rescued by the era's QueueReset.
+                self.stats["stale_fwds_dropped"] = (
+                    self.stats.get("stale_fwds_dropped", 0) + 1
+                )
+                return
             raise ProtocolError(f"tail {e!r} already has a successor")
         e.next = m.req
         e.pending_ovf = e.pending_ovf or m.confirm_required
@@ -621,6 +788,10 @@ class LockControlUnit:
         self.stats["retries_received"] += 1
         if e is not None:
             if e.status != ISSUED:
+                if self.hardened:
+                    # A reclaim raced this RETRY: the entry it addressed
+                    # is a newer incarnation.  Ignore.
+                    return
                 raise ProtocolError(f"RETRY for {e!r}")
             self._free(e)
 
@@ -700,3 +871,87 @@ class LockControlUnit:
         e = self._entries.get((m.addr, m.tid))
         if e is not None and e.status == REL:
             self._free(e)
+
+    # -- orphan-queue reclamation (hardened mode) -------------------------- #
+
+    def _on_queue_reset(self, m: msg.QueueReset) -> None:
+        """The LRT reclaimed this lock's orphaned queue.  Open the new
+        era locally, drop our dead-era queue nodes (waking their threads
+        so they re-request), and convert live holders into LRT-accounted
+        overflow holders so the new era cannot grant a writer over them.
+        Replies with the holder count the LRT must add to ``reader_cnt``.
+        """
+        self._reset_gen[m.addr] = max(self._reset_gen.get(m.addr, 0), m.gen)
+        # The reclaim unlinked every node of this address: evicted
+        # tombstones are now safe to re-request through.
+        self._evicted = {k for k in self._evicted if k[0] != m.addr}
+        readers = 0
+        for (addr, tid), e in list(self._entries.items()):
+            if addr != m.addr:
+                continue
+            if e.overflow:
+                continue  # already LRT-accounted; its release is safe
+            if e.status in (ISSUED, WAIT, RD_REL, REL):
+                # Dead-era waiters and completed releases: drop.  Waiter
+                # threads wake via the entry signal and re-request into
+                # the new era; a "evict" event widens the fairness
+                # oracle's overtake budget for the queue jump.
+                if e.status in (ISSUED, WAIT):
+                    self._observe("evict", addr, tid, e.write)
+                self.stats["reset_freed"] = (
+                    self.stats.get("reset_freed", 0) + 1
+                )
+                self._free(e)
+            elif e.status == ACQ and not e.write:
+                # A reader inside its critical section: convert to an
+                # overflow-style holder.  Its release then reaches the
+                # LRT as an overflow release instead of vanishing as a
+                # silent RD_REL, so draining is observable.
+                e.overflow = True
+                e.head = True       # release path: REL + ReleaseMsg
+                e.next = None
+                e.gen = max(e.gen, m.gen)
+                readers += 1
+            elif e.status == RCV and not e.write and not e.pending_ovf:
+                # Share grant received but not yet claimed: same
+                # conversion; both the claim path and the grant timer
+                # already handle overflow-mode entries.
+                e.overflow = True
+                e.head = False
+                e.next = None
+                e.gen = max(e.gen, m.gen)
+                readers += 1
+            elif e.status == RCV and e.write and e.pending_ovf:
+                # A granted writer still awaiting OvfClear: its clearance
+                # died with the old era.  It never held the lock — drop
+                # it and let the thread re-request.
+                self._observe("evict", addr, tid, e.write)
+                self.stats["reset_freed"] = (
+                    self.stats.get("reset_freed", 0) + 1
+                )
+                self._free(e)
+            # ACQ writers / RCV writers holding a live token are left
+            # alone: a reclaim is only triggered once the Head token is
+            # provably dead, so these cannot coexist with it; if one
+            # slips through a race its release resolves through the
+            # idempotent release path.
+        self._send_lrt(
+            m.addr, msg.QueueResetAck(m.addr, self.lcu_id, readers)
+        )
+
+    def _on_queue_probe(self, m: msg.QueueProbe) -> None:
+        """Idle-queue watchdog asking whether the queue head node this
+        LCU supposedly hosts is still alive.  'Alive' includes the two
+        entry-less holding states: a deallocated uncontended owner
+        (held-generation record) and an FLT-parked lock."""
+        key = (m.addr, m.tid)
+        alive = (
+            key in self._entries
+            or key in self._held_gen
+            or key in self._overflow_grants
+            or (
+                self._flt.get(m.addr) is not None
+                and self._flt[m.addr][0] == m.tid
+            )
+        )
+        self._send_lrt(m.addr, msg.QueueProbeAck(m.addr, m.tid, alive))

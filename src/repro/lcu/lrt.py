@@ -25,7 +25,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.lcu import messages as msg
-from repro.lcu.lcu import ProtocolError
+from repro.lcu.lcu import RECLAIM_GEN_STRIDE, ProtocolError
 from repro.lcu.messages import Who
 from repro.net.network import Endpoint, Network
 from repro.params import MachineConfig
@@ -43,6 +43,7 @@ class LrtEntry:
         "addr", "head", "tail", "gen", "reader_cnt", "writers_waiting",
         "reservation", "reservation_seq", "pending_ovf_writer",
         "priority_members", "priority_seq",
+        "last_activity", "reclaim_gen", "reset_pending", "probing",
     )
 
     def __init__(self, addr: int) -> None:
@@ -60,6 +61,16 @@ class LrtEntry:
         # holders only wait out the pre-existing queue
         self.priority_members: set = set()
         self.priority_seq = 0
+        # hardened-mode recovery state (see repro.faults): cycle of the
+        # last message touching this lock (watchdog orphan detection),
+        # the generation below which in-flight messages belong to a
+        # reclaimed era and must be dropped, the set of LCU ids whose
+        # QueueResetAck is still outstanding, and whether a liveness
+        # probe is already in flight
+        self.last_activity = 0
+        self.reclaim_gen = 0
+        self.reset_pending: set = set()
+        self.probing = False
 
     @property
     def queue_empty(self) -> bool:
@@ -105,6 +116,19 @@ class LockReservationTable:
             "refills": 0, "reservations": 0, "head_notifies": 0,
             "stale_notifies": 0, "remote_releases": 0,
         }
+        # hardened-mode recovery (armed by harden(); see repro.faults)
+        self.hardened = False
+        self._watchdog_interval = 0
+        self._silence_threshold = 0
+        self._reclaim_started: Dict[int, int] = {}
+        #: addr -> last reclaim era.  LCUs filter dead-era traffic with a
+        #: persistent per-addr fence, so the generation must stay
+        #: monotonic across entry removal/reinstall; only reclaims write
+        #: here, so unfaulted runs never populate it.
+        self._gen_floor: Dict[int, int] = {}
+        #: cycles from orphan detection to fully acknowledged reset —
+        #: harvested into the recovery-latency histogram (repro.obs)
+        self.recovery_latencies: list = []
         #: most locks simultaneously live (table + overflow) — the
         #: occupancy telemetry behind the spill/refill behaviour
         self.live_locks_highwater = 0
@@ -176,6 +200,11 @@ class LockReservationTable:
             self._touch_memory()
         else:
             e = LrtEntry(addr)
+            floor = self._gen_floor.get(addr)
+            if floor is not None:
+                # Resume the post-reclaim era: a fresh gen of 1 would be
+                # rejected by the LCUs' dead-era fences.
+                e.gen = e.reclaim_gen = floor
             self._live += 1
             if self._live > self.live_locks_highwater:
                 self.live_locks_highwater = self._live
@@ -221,6 +250,10 @@ class LockReservationTable:
         return m.addr  # every LRT message carries the lock address
 
     def _process(self, m: object) -> None:
+        if self.hardened:
+            e = self.entry(m.addr)  # type: ignore[attr-defined]
+            if e is not None:
+                e.last_activity = self._sim.now
         if isinstance(m, msg.Request):
             self._on_request(m)
         elif isinstance(m, msg.ReleaseMsg):
@@ -233,8 +266,114 @@ class LockReservationTable:
             self._on_fwd_nack(m)
         elif isinstance(m, msg.RemoteReleaseNack):
             self._on_remote_nack(m)
+        elif isinstance(m, msg.GrantNack):
+            self._on_grant_nack(m)
+        elif isinstance(m, msg.QueueResetAck):
+            self._on_reset_ack(m)
+        elif isinstance(m, msg.QueueProbeAck):
+            self._on_probe_ack(m)
         else:
             raise ProtocolError(f"LRT{self.lrt_id}: unexpected message {m!r}")
+
+    # ------------------------------------------------------------------ #
+    # hardened mode: orphan detection and queue reclamation
+
+    def harden(
+        self, watchdog_interval: int = 20_000, silence_threshold: int = 50_000
+    ) -> None:
+        """Arm fault tolerance: tolerate the message anomalies the
+        nemesis injects (stray releases, stale notifications, dead queue
+        nodes) and run an idle-queue watchdog that probes queues silent
+        for ``silence_threshold`` cycles and reclaims orphans."""
+        if self.hardened:
+            return
+        self.hardened = True
+        self._watchdog_interval = watchdog_interval
+        self._silence_threshold = silence_threshold
+        self._sim.after(watchdog_interval, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        if not self.hardened:
+            return
+        now = self._sim.now
+        for store in list(self._sets.values()) + [self._overflow]:
+            for e in list(store.values()):
+                if (
+                    e.head is not None
+                    and not e.reset_pending
+                    and not e.probing
+                    and now - e.last_activity >= self._silence_threshold
+                ):
+                    # Queue exists but nothing has touched it for a long
+                    # time: ask the head's LCU whether the node is alive.
+                    e.probing = True
+                    self.stats["probes"] = self.stats.get("probes", 0) + 1
+                    self._send_lcu(
+                        e.head.lcu, msg.QueueProbe(e.addr, e.head.tid)
+                    )
+        self._sim.after(self._watchdog_interval, self._watchdog_tick)
+
+    def _on_probe_ack(self, m: msg.QueueProbeAck) -> None:
+        e = self.entry(m.addr)
+        if e is None:
+            return
+        e.probing = False
+        if m.alive or e.head is None or e.head.tid != m.tid:
+            return  # healthy, or the queue moved on while we probed
+        self._reclaim(self._install(m.addr), "watchdog")
+
+    def _on_grant_nack(self, m: msg.GrantNack) -> None:
+        """A grant hit a dead LCU entry.  If it carried the Head token,
+        the token is lost and the whole queue behind it is orphaned —
+        reclaim.  A share grant to a dead reader needs nothing: the dead
+        node is still linked and passes the token on when it arrives."""
+        if not self.hardened:
+            raise ProtocolError(f"LRT{self.lrt_id}: unexpected message {m!r}")
+        self.stats["grant_nacks"] = self.stats.get("grant_nacks", 0) + 1
+        e = self.entry(m.addr)
+        if e is None or m.gen < e.reclaim_gen or not m.head:
+            return  # stale echo of an era already reclaimed
+        self._reclaim(self._install(m.addr), "grant_nack")
+
+    def _reclaim(self, e: LrtEntry, reason: str) -> None:
+        """The queue for ``e.addr`` is orphaned: the Head token died with
+        an evicted node.  Open a new era (generation jump), wipe the
+        queue pointers, and broadcast ``QueueReset`` so every LCU drops
+        its dead-era nodes and reports its surviving read holders."""
+        if e.reset_pending:
+            return
+        self.stats["reclaims"] = self.stats.get("reclaims", 0) + 1
+        self.stats[f"reclaims_{reason}"] = (
+            self.stats.get(f"reclaims_{reason}", 0) + 1
+        )
+        self._reclaim_started[e.addr] = self._sim.now
+        e.gen += RECLAIM_GEN_STRIDE
+        e.reclaim_gen = e.gen
+        self._gen_floor[e.addr] = e.gen
+        e.head = e.tail = None
+        e.writers_waiting = 0
+        e.pending_ovf_writer = None
+        e.reservation = None
+        e.reservation_seq += 1
+        e.priority_members.clear()
+        e.probing = False
+        e.reset_pending = set(range(self._config.cores))
+        for lcu_id in range(self._config.cores):
+            self._send_lcu(lcu_id, msg.QueueReset(e.addr, e.gen))
+
+    def _on_reset_ack(self, m: msg.QueueResetAck) -> None:
+        e = self.entry(m.addr)
+        if e is None or m.lcu not in e.reset_pending:
+            return
+        e.reset_pending.discard(m.lcu)
+        e.reader_cnt += m.readers
+        if not e.reset_pending:
+            started = self._reclaim_started.pop(m.addr, None)
+            if started is not None:
+                self.recovery_latencies.append(self._sim.now - started)
+            # Readers that survived the reset now gate the next writer
+            # through the ordinary overflow-drain machinery.
+            self._drained_check(e)
 
     # ------------------------------------------------------------------ #
     # requests
@@ -244,13 +383,20 @@ class LockReservationTable:
         req = m.req
         e = self.entry(m.addr)
 
+        if e is not None and e.reset_pending:
+            # Mid-reclaim: surviving reader counts are still being
+            # collected, so a grant issued now could skip the overflow
+            # drain.  Refuse; the software layer re-requests.
+            self._retry(req, m.addr)
+            return
+
         if e is None:
             # Lock free: allocate and grant immediately (paper Fig. 4a).
             e = self._install(m.addr)
             e.head = e.tail = req
-            e.gen = 1
+            e.gen += 1
             self._probe("enqueue", m.addr, req.tid, req.write)
-            self._grant(req, m.addr, head=True, gen=1)
+            self._grant(req, m.addr, head=True, gen=e.gen)
             return
 
         e = self._install(m.addr)  # refresh LRU / refill from overflow
@@ -407,6 +553,17 @@ class LockReservationTable:
         self.stats["releases"] += 1
         e = self.entry(m.addr)
         if e is None:
+            if self.hardened:
+                # A release whose lock state is gone (reclaimed, or the
+                # queue drained through another path while this message
+                # was delayed).  Acking is safe — the holder is done
+                # either way — and keeps the releasing entry from
+                # leaking.
+                self.stats["stray_releases"] = (
+                    self.stats.get("stray_releases", 0) + 1
+                )
+                self._send_lcu(m.rel.lcu, msg.ReleaseAck(m.addr, m.rel.tid))
+                return
             raise ProtocolError(
                 f"LRT{self.lrt_id}: release {m!r} for unknown lock"
             )
@@ -415,6 +572,15 @@ class LockReservationTable:
 
         if m.overflow:
             if e.reader_cnt <= 0:
+                if self.hardened:
+                    # Duplicate overflow release (wire dup, or a convert-
+                    # then-drain race): the holder is gone, the count
+                    # already reflects it.  Ack idempotently.
+                    self.stats["stray_releases"] = (
+                        self.stats.get("stray_releases", 0) + 1
+                    )
+                    self._send_lcu(rel.lcu, msg.ReleaseAck(m.addr, rel.tid))
+                    return
                 raise ProtocolError(f"overflow release underflow: {m!r}")
             e.reader_cnt -= 1
             self._send_lcu(rel.lcu, msg.ReleaseAck(m.addr, rel.tid))
@@ -440,6 +606,16 @@ class LockReservationTable:
         # Release from an LCU that is not the head: a migrated thread
         # (paper III-C).  Walk the queue starting at the head.
         if e.head is None:
+            if self.hardened:
+                # Queue was reclaimed out from under a holder we did not
+                # know about; the release is moot.  Ack and re-check
+                # whether the entry can be retired.
+                self.stats["stray_releases"] = (
+                    self.stats.get("stray_releases", 0) + 1
+                )
+                self._send_lcu(rel.lcu, msg.ReleaseAck(m.addr, rel.tid))
+                self._drained_check(e)
+                return
             raise ProtocolError(
                 f"LRT{self.lrt_id}: non-head release {m!r} with empty queue"
             )
@@ -461,12 +637,15 @@ class LockReservationTable:
     def _finalize(self, e: LrtEntry) -> None:
         """Remove the entry once nothing references the lock anymore.
         An open priority window keeps the entry (and the window) alive
-        across idle gaps until it expires."""
+        across idle gaps until it expires, and a reclaim-in-progress
+        keeps it alive until every LCU has acknowledged the reset (the
+        era fence in ``reclaim_gen`` must survive until then)."""
         if (
             e.queue_empty
             and e.reader_cnt == 0
             and e.reservation is None
             and not e.priority_members
+            and not e.reset_pending
         ):
             self._remove(e.addr)
 
@@ -477,10 +656,23 @@ class LockReservationTable:
         self.stats["head_notifies"] += 1
         e = self.entry(m.addr)
         if e is None:
+            if self.hardened:
+                # Delayed notification for a lock that has since been
+                # fully released or reclaimed: reclaim the notifier's
+                # REL entry and move on.
+                self.stats["stale_notifies"] += 1
+                self._send_lcu(m.new.lcu, msg.Dealloc(m.addr, m.new.tid))
+                return
             raise ProtocolError(
                 f"LRT{self.lrt_id}: head notify {m!r} for unknown lock"
             )
         e = self._install(m.addr)
+        if self.hardened and m.gen < e.reclaim_gen:
+            # Dead-era notification racing the reset broadcast: the
+            # queue it describes no longer exists.
+            self.stats["stale_notifies"] += 1
+            self._send_lcu(m.new.lcu, msg.Dealloc(m.addr, m.new.tid))
+            return
         if m.gen > e.gen:
             old = e.head
             e.head = m.new
@@ -509,8 +701,21 @@ class LockReservationTable:
 
     def _on_fwd_nack(self, m: msg.FwdNack) -> None:
         """Target LCU had no room to re-allocate the tail entry; retry
-        after a backoff (entries free up as transfers complete)."""
+        after a backoff (entries free up as transfers complete).  In
+        hardened mode a nack can also mean the forward referenced a
+        dead-era tail (phantom refusal) — those are dropped, the
+        requestor re-enters via RETRY/reclaim instead."""
         fwd = m.original
+        if self.hardened:
+            e = self.entry(m.addr)
+            if e is None or fwd.gen < e.reclaim_gen:
+                self.stats["stale_fwds_dropped"] = (
+                    self.stats.get("stale_fwds_dropped", 0) + 1
+                )
+                # The forwarded requestor's WAIT node died with the old
+                # era (the QueueReset broadcast frees it and wakes the
+                # thread); nothing to redeliver.
+                return
         self._sim.after(
             _FWD_RETRY_BACKOFF, lambda: self._send_lcu(fwd.tail_lcu, fwd)
         )
@@ -558,6 +763,16 @@ class LockReservationTable:
             e.reader_cnt -= 1
             origin_ack()
             self._drained_check(e)
+            return
+        if self.hardened:
+            # The walked-for node is unreachable — under fault injection
+            # that means it died with a reclaimed era.  The release is
+            # moot; ack the origin so its REL entry frees, and let the
+            # watchdog reclaim the queue if it is truly wedged.
+            self.stats["unresolved_remote_releases"] = (
+                self.stats.get("unresolved_remote_releases", 0) + 1
+            )
+            origin_ack()
             return
         raise ProtocolError(
             f"LRT{self.lrt_id}: cannot resolve remote release {m!r}"

@@ -198,3 +198,60 @@ class RemoteReleaseNack:
     write: bool
     origin_lcu: int
     attempts: int
+
+
+# --------------------------------------------------------------------- #
+# hardened-mode recovery messages (fault tolerance; see repro.faults)
+
+
+@dataclasses.dataclass(frozen=True)
+class GrantNack:
+    """LCU -> LRT (hardened mode): a Grant arrived for an entry that no
+    longer exists — the queue node was lost (forced eviction, resource
+    fault).  Carries enough identity for the LRT to decide whether the
+    dead node was the head and reclaim the orphaned queue."""
+    addr: int
+    tid: int
+    lcu: int
+    gen: int
+    head: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueProbe:
+    """LRT -> head LCU (hardened mode): the queue for ``addr`` has been
+    silent for longer than the orphan threshold; is the head node still
+    alive?"""
+    addr: int
+    tid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueProbeAck:
+    """head LCU -> LRT: answer to a :class:`QueueProbe`."""
+    addr: int
+    tid: int
+    alive: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueReset:
+    """LRT -> every LCU (hardened mode, broadcast): the queue for
+    ``addr`` was found orphaned (dead head, unreachable successors) and
+    has been reclaimed.  LCUs drop their ISSUED/WAIT nodes for the
+    address and wake their waiters, which re-request through the normal
+    path.  Live readers are converted to LRT-accounted overflow holders;
+    writers holding the token resolve through their own message flows."""
+    addr: int
+    gen: int
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueResetAck:
+    """LCU -> LRT: reply to a :class:`QueueReset` broadcast.  ``readers``
+    is the number of live read holders this LCU converted to
+    overflow-accounted mode; the LRT adds them to ``reader_cnt`` so the
+    post-reset queue's first writer waits for them to drain."""
+    addr: int
+    lcu: int
+    readers: int

@@ -8,6 +8,7 @@ its short name: ``tas``, ``tatas``, ``ticket``, ``mcs``, ``mrsw``,
 
 from repro.locks.base import LockAlgorithm, all_algorithms, get_algorithm
 from repro.locks.clh import ClhLock
+from repro.locks.fallback import LcuFallbackLock
 from repro.locks.hbo import HboLock
 from repro.locks.hwlocks import LcuRwLock, SsbLock
 from repro.locks.mao import MaoTicketLock
@@ -23,6 +24,7 @@ from repro.locks.tpmcs import TpMcsLock
 __all__ = [
     "LockAlgorithm", "all_algorithms", "get_algorithm",
     "TasLock", "TatasLock", "TicketLock", "McsLock", "MrswLock",
-    "PthreadMutex", "LcuRwLock", "SsbLock", "ClhLock", "HboLock",
+    "PthreadMutex", "LcuRwLock", "LcuFallbackLock", "SsbLock", "ClhLock",
+    "HboLock",
     "SnziRwLock", "MaoTicketLock", "TpMcsLock", "Barrier", "CondVar",
 ]

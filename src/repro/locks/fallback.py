@@ -1,0 +1,170 @@
+"""LCU lock with graceful degradation to a software fallback.
+
+``lcu_fb`` is the production-shaped deployment story for the paper's
+hardware lock: the fast path is the ordinary LCU reader-writer queue,
+but when LCU entry slots are persistently unobtainable (entry-table
+exhaustion, fault-injected capacity pressure — see :mod:`repro.faults`)
+the lock *degrades* to a software path that needs no LCU state at all,
+in the spirit of BRAVO's revocable fast path (Dice & Kogan, ATC'19),
+with the roles reversed: here the hardware queue is the fast path and
+the software lock is the refuge.
+
+Cross-path exclusion uses two shared words:
+
+* ``mode``  — 0: hardware path allowed; 1: degraded (sticky).
+* ``count`` — number of threads currently holding via the hardware path.
+
+A hardware acquirer takes the LCU lock, *announces* itself
+(``count += 1``), then re-checks ``mode``: if degradation happened in
+between, it backs out (undo the announce, release the LCU lock) and
+takes the software path.  A degrader sets ``mode = 1``, acquires an
+inner ticket mutex, then spins until ``count == 0``.  Thread ops are
+fully serialized (each completes before the next issues), so the
+announce-then-check / set-then-drain pair cannot both see the old
+world: either the hardware thread observes ``mode == 1`` and backs out,
+or its announce is visible to the degrader's drain loop.
+
+The degraded path is a plain ticket mutex — no read sharing, unfair
+relative to the hardware queue's FIFO order.  That is the point: it is
+a *degraded* mode that stays correct and live when the fast path's
+resources are gone, and it is sticky per lock (real revocation logic is
+out of scope — BRAVO re-enables heuristically; we keep the conservative
+half).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, NamedTuple, Set, Tuple
+
+from repro.cpu import ops
+from repro.cpu.os_sched import SimThread
+from repro.lcu import api as lcu_api
+from repro.locks.atomic import fetch_add, swap
+from repro.locks.base import LockAlgorithm, register
+
+#: consecutive entry-allocation failures before a thread degrades the lock
+DEGRADE_THRESHOLD = 3
+#: local-spin recheck period (mirrors lcu_api's lost-wakeup guard)
+_SPIN_RECHECK = 5_000
+
+
+class FallbackHandle(NamedTuple):
+    addr: int           # the LCU-locked word (hardware fast path)
+    mode: int           # 0 = hardware allowed, 1 = degraded (sticky)
+    count: int          # live hardware-path holders
+    ticket_next: int    # degraded path: ticket dispenser
+    ticket_owner: int   # degraded path: now-serving
+
+
+@register
+class LcuFallbackLock(LockAlgorithm):
+    """LCU fast path with a software fallback for slot exhaustion."""
+
+    name = "lcu_fb"
+    hardware = True
+    local_spin = True
+    rw_support = True
+    trylock_support = False
+    fair = False               # degraded path breaks the hw queue's FIFO
+    queue_eviction_detection = True
+    scalability = "very good (until degraded)"
+    memory_overhead = "4 words + LCU/LRT entries"
+    transfer_messages = "1 (hw) / coherence (degraded)"
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        # (lock addr, tid) -> "hw" | "sw": which path the current hold
+        # came through, so release undoes the right one
+        self._path: Dict[Tuple[int, int], str] = {}
+        self.degraded: Set[int] = set()
+        self.stats: Dict[str, int] = {
+            "hw_acquires": 0, "sw_acquires": 0, "degrades": 0,
+            "backouts": 0,
+        }
+
+    def make_lock(self) -> FallbackHandle:
+        alloc = self.machine.alloc
+        return FallbackHandle(
+            addr=alloc.alloc_line(),
+            mode=alloc.alloc_line(),
+            count=alloc.alloc_line(),
+            ticket_next=alloc.alloc_line(),
+            ticket_owner=alloc.alloc_line(),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def lock(
+        self, thread: SimThread, handle: FallbackHandle, write: bool
+    ) -> Generator:
+        alloc_fails = 0
+        while True:
+            mode = yield ops.Load(handle.mode)
+            if mode:
+                yield from self._lock_sw(thread, handle)
+                return
+            ok = yield ops.LcuAcq(handle.addr, write)
+            if ok:
+                # Announce, then re-check: a degrader serialized between
+                # our mode load and here must see us (or we see it).
+                yield fetch_add(handle.count, 1)
+                mode = yield ops.Load(handle.mode)
+                if mode:
+                    self.stats["backouts"] += 1
+                    yield fetch_add(handle.count, -1)
+                    yield from lcu_api.unlock(handle.addr, write)
+                    yield from self._lock_sw(thread, handle)
+                    return
+                self._path[(handle.addr, thread.tid)] = "hw"
+                self.stats["hw_acquires"] += 1
+                return
+            core = thread.core
+            if (
+                core is not None
+                and self.machine.lcus[core].entry(thread.tid, handle.addr)
+                is None
+            ):
+                # acq failed *and* left no entry behind: the LCU could
+                # not allocate a slot.  Persistent exhaustion degrades.
+                alloc_fails += 1
+                if alloc_fails >= DEGRADE_THRESHOLD:
+                    yield swap(handle.mode, 1)
+                    self.stats["degrades"] += 1
+                    self.degraded.add(handle.addr)
+                    yield from self._lock_sw(thread, handle)
+                    return
+            else:
+                alloc_fails = 0
+            yield ops.LcuWait(handle.addr, timeout=_SPIN_RECHECK)
+
+    def _lock_sw(
+        self, thread: SimThread, handle: FallbackHandle
+    ) -> Generator:
+        """Degraded path: inner ticket mutex, then drain hw holders."""
+        ticket = yield fetch_add(handle.ticket_next, 1)
+        while True:
+            owner = yield ops.Load(handle.ticket_owner)
+            if owner == ticket:
+                break
+            yield ops.WaitLine(
+                handle.ticket_owner, owner, timeout=_SPIN_RECHECK
+            )
+        while True:
+            holders = yield ops.Load(handle.count)
+            if holders == 0:
+                break
+            yield ops.WaitLine(handle.count, holders, timeout=_SPIN_RECHECK)
+        self._path[(handle.addr, thread.tid)] = "sw"
+        self.stats["sw_acquires"] += 1
+
+    def unlock(
+        self, thread: SimThread, handle: FallbackHandle, write: bool
+    ) -> Generator:
+        path = self._path.pop((handle.addr, thread.tid), "hw")
+        if path == "hw":
+            # Retract the announce before returning the LCU lock, so a
+            # draining degrader sees count reach zero promptly.
+            yield fetch_add(handle.count, -1)
+            yield from lcu_api.unlock(handle.addr, write)
+        else:
+            yield fetch_add(handle.ticket_owner, 1)

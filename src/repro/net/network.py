@@ -14,21 +14,44 @@ machine config:
   that busy-wait with *remote* messages (the SSB's retry loop) saturate
   them — the effect behind the paper's Figure 9b.
 
-Messages between a fixed (src, dst) pair are delivered FIFO — all messages
-take the same server chain with constant propagation, which is the network
-ordering assumption the LCU/LRT state machines rely on (the paper notes
-transient states would otherwise be needed).
+Messages between a fixed (src, dst) pair are delivered FIFO — this is the
+network ordering assumption the LCU/LRT state machines rely on (the paper
+notes transient states would otherwise be needed).  The guarantee is
+*enforced*, not emergent: every message is stamped with a per-(src, dst)
+sequence number when it enters the fabric, and the delivery stage holds
+back any arrival that would overtake a lower-stamped one.  Without the
+stage, a perturbed event tie-break (``tiebreak_seed``) could invert two
+same-cycle arrivals on one pair — e.g. a pair of one-cycle self-sends —
+and break the protocol in ways no real fabric can.  With the default
+stable tie-break the stage is a pure pass-through (same cycles, same
+order), so baseline results are unchanged.
+
+Fault injection (``repro.faults``) plugs in at two points, both inert
+when unused:
+
+* ``fault_filter`` — called at fabric entry for every non-self message;
+  returns the (possibly empty) list of ``(extra_delay, payload)`` copies
+  to actually transmit.  Drop/duplicate/delay faults live here, *before*
+  the FIFO stamp is assigned, so a delayed copy is genuinely reordered
+  relative to later traffic.
+* a reliable-delivery layer (:mod:`repro.net.reliable`) that wraps
+  covered traffic in sequence-numbered frames with ack/retransmit, so
+  the protocol survives what the filter does to the wire.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.params import MachineConfig
 from repro.sim.engine import Server, Simulator
 
 # An endpoint is any hashable id; the machine uses ("core", i) and ("mc", j).
 Endpoint = Tuple[str, int]
+
+#: fault filter: (src, dst, payload) -> iterable of (extra_delay, payload)
+#: copies to transmit.  Empty iterable == message dropped on the wire.
+FaultFilter = Callable[[Endpoint, Endpoint, Any], Iterable[Tuple[int, Any]]]
 
 
 class Network:
@@ -63,10 +86,25 @@ class Network:
 
         self.messages_sent = 0
         self.inter_chip_messages = 0
+        #: same-cycle arrival inversions healed by the per-pair FIFO stage
+        #: (only ever non-zero under a perturbed ``tiebreak_seed``)
+        self.reorders_healed = 0
         #: optional hook ``fn(src, dst, payload, inter_chip)`` observing
         #: every injection — the profiler's per-lock message attribution
         #: point (payloads carrying an ``addr`` identify their lock)
         self.probe: Optional[Callable[[Endpoint, Endpoint, Any, bool], None]] = None
+        #: fault-injection hook (see module docstring); None == no faults
+        self.fault_filter: Optional[FaultFilter] = None
+        # reliable-delivery layer (repro.net.reliable); None == raw wire
+        self._reliable = None
+
+        # Per-(src, dst) FIFO enforcement: fabric-entry stamps, the next
+        # stamp each pair expects to deliver, and held-back arrivals.
+        self._pair_stamp: Dict[Tuple[Endpoint, Endpoint], int] = {}
+        self._pair_expect: Dict[Tuple[Endpoint, Endpoint], int] = {}
+        self._pair_stash: Dict[
+            Tuple[Endpoint, Endpoint], Dict[int, Callable[[], None]]
+        ] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -81,6 +119,14 @@ class Network:
 
     def is_registered(self, endpoint: Endpoint) -> bool:
         return endpoint in self._handlers
+
+    def set_reliable(self, layer) -> None:
+        """Install (or remove, with ``None``) the reliable-delivery layer."""
+        self._reliable = layer
+
+    @property
+    def reliable(self):
+        return self._reliable
 
     # ------------------------------------------------------------------ #
 
@@ -106,9 +152,31 @@ class Network:
         The destination handler runs at delivery time; ``on_deliver`` (if
         given) runs right after it.  Self-sends are delivered after one
         cycle without touching the fabric.
+
+        This is the *logical* send: tracers wrap it, and the reliable
+        layer (when armed) takes over from here.  Frames, acks and
+        retransmissions enter below it through :meth:`_inject`.
         """
         if dst not in self._handlers:
             raise KeyError(f"no handler registered for endpoint {dst}")
+        if self._reliable is not None and self._reliable.covers(
+            src, dst, payload
+        ):
+            self._reliable.send(src, dst, payload, on_deliver)
+            return
+        self._inject(src, dst, payload, on_deliver)
+
+    # ------------------------------------------------------------------ #
+    # wire layer
+
+    def _inject(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Any,
+        on_deliver: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Put one message on the wire (fault filter applies here)."""
         self.messages_sent += 1
         if self.probe is not None:
             self.probe(
@@ -116,10 +184,35 @@ class Network:
                 src != dst and self._chip_of(src) != self._chip_of(dst),
             )
 
+        if self.fault_filter is not None and src != dst:
+            copies = list(self.fault_filter(src, dst, payload))
+        else:
+            copies = [(0, payload)]
+        for extra_delay, copy in copies:
+            if extra_delay > 0:
+                self._sim.after(
+                    extra_delay,
+                    lambda c=copy: self._transmit(src, dst, c, on_deliver),
+                )
+            else:
+                self._transmit(src, dst, copy, on_deliver)
+
+    def _transmit(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Any,
+        on_deliver: Optional[Callable[[], None]],
+    ) -> None:
+        """Carry ``payload`` through the fabric.  The per-pair FIFO stamp
+        is assigned *here* — after any fault-injected delay — so delayed
+        copies are genuinely reordered rather than holding back the pair."""
+        pair = (src, dst)
+        stamp = self._pair_stamp.get(pair, 0)
+        self._pair_stamp[pair] = stamp + 1
+
         def deliver() -> None:
-            self._handlers[dst](src, payload)
-            if on_deliver is not None:
-                on_deliver()
+            self._arrive(pair, stamp, payload, on_deliver)
 
         if src == dst:
             self._sim.after(1, deliver)
@@ -154,6 +247,54 @@ class Network:
             server.request(service, lambda: step(i + 1))
 
         step(0)
+
+    def _arrive(
+        self,
+        pair: Tuple[Endpoint, Endpoint],
+        stamp: int,
+        payload: Any,
+        on_deliver: Optional[Callable[[], None]],
+    ) -> None:
+        """Per-pair FIFO stage: deliver in fabric-entry order.
+
+        Messages on one pair reach here with non-decreasing arrival
+        cycles (FIFO servers, constant propagation), so any inversion is
+        same-cycle tie-break noise — the held-back message's predecessor
+        is already queued at this very cycle and the stash drains before
+        the clock advances.
+        """
+        expect = self._pair_expect.get(pair, 0)
+        if stamp != expect:
+            self.reorders_healed += 1
+            self._pair_stash.setdefault(pair, {})[stamp] = (
+                lambda: self._deliver(pair, payload, on_deliver)
+            )
+            return
+        self._deliver(pair, payload, on_deliver)
+        expect += 1
+        stash = self._pair_stash.get(pair)
+        if stash:
+            while expect in stash:
+                fn = stash.pop(expect)
+                expect += 1
+                # update before running: the callback may send again
+                self._pair_expect[pair] = expect
+                fn()
+        self._pair_expect[pair] = expect
+
+    def _deliver(
+        self,
+        pair: Tuple[Endpoint, Endpoint],
+        payload: Any,
+        on_deliver: Optional[Callable[[], None]],
+    ) -> None:
+        src, dst = pair
+        if self._reliable is not None and self._reliable.intercepts(payload):
+            self._reliable.on_wire(src, dst, payload)
+            return
+        self._handlers[dst](src, payload)
+        if on_deliver is not None:
+            on_deliver()
 
     # ------------------------------------------------------------------ #
     # introspection used by the harness and the telemetry layer

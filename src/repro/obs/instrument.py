@@ -101,6 +101,10 @@ def harvest_machine_metrics(
 
     registry.counter("net.messages_sent").inc(net.messages_sent)
     registry.counter("net.inter_chip_messages").inc(net.inter_chip_messages)
+    registry.counter("net.reorders_healed").inc(net.reorders_healed)
+    if net.reliable is not None:
+        for stat, value in sorted(net.reliable.stats().items()):
+            registry.counter(f"net.reliable.{stat}").inc(value)
     for group, label, server in net.fabric_servers():
         name = _server_metric(group, label)
         registry.counter(f"{name}.busy_cycles").inc(server.busy_cycles)
@@ -129,6 +133,12 @@ def harvest_machine_metrics(
         registry.gauge(f"lrt.{j}.live_locks_highwater").set(
             lrt.live_locks_highwater
         )
+        if lrt.recovery_latencies:
+            hist = registry.histogram(
+                "lrt.recovery_latency", bucket_width=1000
+            )
+            for lat in lrt.recovery_latencies:
+                hist.add(lat)
 
     for stat, value in sorted(machine.ssb.stats.items()):
         registry.counter(f"ssb.{stat}").inc(value)

@@ -191,6 +191,29 @@ def test_oracle_timeout_credits_widen_bound():
     assert not credited.violations
 
 
+def test_oracle_excused_waiters_not_overtaken():
+    """A waiter frozen by an injected core stall cannot consume a grant:
+    passing it is the designed behaviour, so excused tids accrue no
+    overtake count at all (unlike timeout credits, which only widen the
+    bound by one per skip)."""
+    strict = RWLockOracle(fair=True, overtake_bound=2)
+    excusing = RWLockOracle(fair=True, overtake_bound=2)
+    for oracle in (strict, excusing):
+        oracle.request(99, True, 0)
+    for i, tid in enumerate(range(100, 110)):
+        for oracle in (strict, excusing):
+            oracle.request(tid, True, i + 1)
+        strict.acquire(tid, True, i + 2)
+        excusing.acquire(tid, True, i + 2, excused={99})
+        for oracle in (strict, excusing):
+            oracle.release(tid, True, i + 3)
+        if strict.violations:
+            break
+    assert strict.violations
+    assert not excusing.violations
+    assert excusing.overtaken.get(99, 0) == 0
+
+
 def test_oracle_flags_lost_wakeup_at_end():
     oracle = RWLockOracle()
     oracle.request(1, True, 0)

@@ -75,6 +75,14 @@ class TestExamples:
         assert (tmp_path / "lcu.folded").exists()
         assert (tmp_path / "mcs.folded").exists()
 
+    def test_faults_demo(self):
+        out = run_example("faults_demo.py", "--threads", "4",
+                          "--iters", "10")
+        assert "lossy wire" in out
+        assert "eviction + reclaim" in out
+        assert "bit-identical" in out
+        assert "faults demo OK" in out
+
     def test_protocol_walkthrough(self):
         out = run_example("protocol_walkthrough.py")
         assert "Figure 4" in out and "Figure 5" in out and "Figure 6" in out

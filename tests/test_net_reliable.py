@@ -1,0 +1,221 @@
+"""Unit tests for the reliable-delivery layer (frames, acks, RTO)."""
+
+import pytest
+
+from repro.lcu.messages import Dealloc, QueueProbe
+from repro.net.network import Network
+from repro.net.reliable import AckFrame, Frame, ReliableLayer
+from repro.params import small_test_model
+from repro.sim.engine import Simulator
+
+CORE0 = ("core", 0)
+CORE1 = ("core", 1)
+
+
+def make_net():
+    config = small_test_model()
+    sim = Simulator()
+
+    def chip_of(ep):
+        kind, idx = ep
+        if kind == "core":
+            return config.chip_of_core(idx)
+        return idx * config.chips // config.num_lrts
+
+    net = Network(sim, config, chip_of)
+    return sim, net
+
+
+def make_reliable(sim, net, covers=lambda s, d: True, **kw):
+    layer = ReliableLayer(sim, covers, **kw)
+    layer.attach(net)
+    return layer
+
+
+class TestCoverage:
+    def test_wraps_protocol_messages_only(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        m = Dealloc(0x100, 1)
+        assert layer.covers(CORE0, CORE1, m)
+        # raw payloads (coherence fills, strings, ...) are never framed:
+        # a retransmitted frame must not re-run an on_deliver continuation
+        assert not layer.covers(CORE0, CORE1, "cache line")
+        assert not layer.covers(CORE0, CORE0, m), "self-sends bypass"
+
+    def test_intercepts_frames_and_acks(self):
+        assert ReliableLayer.intercepts(Frame(0, "x"))
+        assert ReliableLayer.intercepts(AckFrame(3))
+        assert not ReliableLayer.intercepts(Dealloc(0x100, 1))
+
+    def test_link_predicate_gates_pairs(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net, covers=lambda s, d: s == CORE0)
+        m = QueueProbe(0x100, 2)
+        assert layer.covers(CORE0, CORE1, m)
+        assert not layer.covers(CORE1, CORE0, m)
+
+
+class TestLossRecovery:
+    def test_clean_wire_delivers_in_order(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+        msgs = [Dealloc(0x100, t) for t in range(4)]
+        for m in msgs:
+            net.send(CORE0, CORE1, m)
+        sim.run()
+        assert got == msgs
+        assert layer.pending_frames() == 0
+        assert layer.retransmits == 0
+
+    def test_dropped_frame_is_retransmitted(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+
+        dropped = []
+
+        def fault(src, dst, payload):
+            if isinstance(payload, Frame) and not dropped:
+                dropped.append(payload)
+                return []  # swallow the first frame
+            return [(0, payload)]
+
+        net.fault_filter = fault
+        m = Dealloc(0x100, 7)
+        net.send(CORE0, CORE1, m)
+        sim.run()
+        assert dropped, "fault filter never saw the frame"
+        assert got == [m], "retransmission must deliver exactly once"
+        assert layer.retransmits >= 1
+        assert layer.pending_frames() == 0
+
+    def test_duplicate_frames_deliver_once(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+        net.fault_filter = lambda s, d, p: (
+            [(0, p), (5, p)] if isinstance(p, Frame) else [(0, p)]
+        )
+        m = Dealloc(0x100, 7)
+        net.send(CORE0, CORE1, m)
+        sim.run()
+        assert got == [m]
+        assert layer.dups_suppressed >= 1
+
+    def test_reordered_frames_held_back(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+
+        def fault(src, dst, payload):
+            # delay only the first frame so the second overtakes it
+            if isinstance(payload, Frame) and payload.seq == 0:
+                return [(500, payload)]
+            return [(0, payload)]
+
+        net.fault_filter = fault
+        msgs = [Dealloc(0x100, t) for t in range(3)]
+        for m in msgs:
+            net.send(CORE0, CORE1, m)
+        sim.run()
+        assert got == msgs, "holdback must restore send order"
+        assert layer.holdbacks >= 1
+        assert layer.pending_frames() == 0
+
+    def test_lost_ack_causes_suppressed_duplicate(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+
+        eaten = []
+
+        def fault(src, dst, payload):
+            if isinstance(payload, AckFrame) and not eaten:
+                eaten.append(payload)
+                return []
+            return [(0, payload)]
+
+        net.fault_filter = fault
+        m = Dealloc(0x100, 9)
+        net.send(CORE0, CORE1, m)
+        sim.run()
+        assert got == [m]
+        assert layer.retransmits >= 1
+        assert layer.dups_suppressed >= 1
+        assert layer.pending_frames() == 0
+
+    def test_on_deliver_runs_exactly_once_despite_dups(self):
+        sim, net = make_net()
+        make_reliable(sim, net)
+        cb = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: None)
+        net.fault_filter = lambda s, d, p: (
+            [(0, p), (3, p), (9, p)] if isinstance(p, Frame) else [(0, p)]
+        )
+        net.send(CORE0, CORE1, Dealloc(0x100, 1),
+                 on_deliver=lambda: cb.append(1))
+        sim.run()
+        assert cb == [1]
+
+
+class TestBackoff:
+    def test_rto_backs_off_and_caps(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net, rto_base=16, rto_cap=64)
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: None)
+        times = []
+
+        def fault(src, dst, payload):
+            if isinstance(payload, Frame):
+                times.append(sim.now)
+                if len(times) < 6:
+                    return []
+            return [(0, payload)]
+
+        net.fault_filter = fault
+        net.send(CORE0, CORE1, Dealloc(0x100, 1))
+        sim.run()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == sorted(gaps), "RTO must be non-decreasing"
+        assert max(gaps) <= 64 + 1, "RTO must respect the cap"
+        assert layer.pending_frames() == 0
+
+    def test_stats_shape(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        s = layer.stats()
+        assert set(s) == {
+            "frames_sent", "acks_sent", "retransmits",
+            "dups_suppressed", "holdbacks", "pending",
+        }
+
+
+class TestDetach:
+    def test_detach_restores_raw_path(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+        net.send(CORE0, CORE1, Dealloc(0x100, 1))
+        sim.run()
+        layer.detach()
+        assert net.reliable is None
+        net.send(CORE0, CORE1, Dealloc(0x100, 2))
+        sim.run()
+        assert [p.tid for p in got] == [1, 2]
+        assert layer.frames_sent == 1, "post-detach send must not frame"
