@@ -17,14 +17,23 @@ Commands:
   path, folded-stack / Perfetto export.
 * ``diff``        — structurally diff two run reports; with
   ``--fail-on-regression``, exit 1 when a known-direction quantity
-  moved past ``--threshold`` in the wrong direction.
+  moved past ``--threshold`` in the wrong direction.  With ``--host``,
+  diff two bench-trajectory records (or two ``--host-prof`` run
+  reports) instead: host throughput, attribution and event-queue
+  counters, under a noise-aware threshold.
+* ``bench``       — the host-performance observatory: run the pinned
+  engine benchmark matrix best-of-N, attribute host time to
+  subsystems, and append one record to the ``BENCH_engine.json``
+  trajectory.
 
 The benchmark commands accept ``--metrics-out FILE`` (machine-readable
 run report), ``--trace-out FILE`` (Chrome trace-event JSON, loadable in
 Perfetto) and ``--sample-interval N`` (gauge time-series period in
 cycles); ``microbench`` and ``figure`` also take ``--profile`` to embed
-a profile section in the run report.  See README "Observability" and
-"Profiling & regression gating".
+a profile section in the run report, and ``microbench``/``stm``/``app``
+take ``--host-prof`` to charge host nanoseconds to subsystems (the
+``host`` section of RunReport v3).  See README "Observability",
+"Profiling & regression gating" and "Host performance".
 """
 
 from __future__ import annotations
@@ -36,6 +45,15 @@ import sys
 
 from repro.apps.base import all_apps, run_app
 from repro.harness import figures
+from repro.harness.bench import (
+    DEFAULT_ITERS,
+    DEFAULT_LOCKS,
+    DEFAULT_REPEATS,
+    DEFAULT_THREADS,
+    DEFAULT_WRITE_PCT,
+    QUICK_CELL,
+    QUICK_REPEATS,
+)
 from repro.harness.microbench import run_microbench
 from repro.harness.stm_bench import STRUCTURES, run_stm_bench
 from repro.harness.tables import figure1_table, figure8_table
@@ -110,6 +128,15 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_host_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host-prof", action="store_true",
+        help="attribute *host* (wall-clock) nanoseconds to simulator "
+             "subsystems; with --metrics-out, embeds a 'host' section "
+             "in the run report, otherwise prints the summary",
+    )
+
+
 def _obs_setup(args):
     """Build (registry, tracer) from the telemetry flags; both None when
     the flags are absent, so instrumentation stays off."""
@@ -127,8 +154,17 @@ def _profiler_setup(args):
     return ContentionProfiler()
 
 
+def _host_setup(args):
+    """A :class:`HostProfiler` when ``--host-prof`` was given."""
+    if not getattr(args, "host_prof", False):
+        return None
+    from repro.obs.host import HostProfiler
+
+    return HostProfiler()
+
+
 def _obs_emit(args, kind, config, result, registry, tracer,
-              profiler=None) -> None:
+              profiler=None, host=None) -> None:
     """Write the run report / trace files requested on the command line."""
     if registry is not None:
         results = (
@@ -138,11 +174,15 @@ def _obs_emit(args, kind, config, result, registry, tracer,
         report = build_run_report(
             kind, config, results, metrics=registry.to_dict(),
             profile=profiler.to_dict() if profiler is not None else None,
+            host=host.to_dict() if host is not None else None,
         )
         write_run_report(args.metrics_out, report)
         print(f"run report: {args.metrics_out}")
-    elif profiler is not None:
-        print(profiler.summarize())
+    else:
+        if profiler is not None:
+            print(profiler.summarize())
+        if host is not None:
+            print(host.summarize())
     if tracer is not None:
         tracer.write_chrome_trace(args.trace_out)
         print(f"chrome trace: {args.trace_out} "
@@ -168,12 +208,13 @@ def cmd_microbench(args) -> int:
     config = _model(args.model)
     registry, tracer = _obs_setup(args)
     profiler = _profiler_setup(args)
+    host = _host_setup(args)
     r = run_microbench(
         config, args.lock, args.threads, args.write_pct,
         iters_per_thread=args.iters,
         registry=registry, tracer=tracer,
         sample_interval=args.sample_interval,
-        profiler=profiler,
+        profiler=profiler, host_profiler=host,
     )
     print(r)
     print(f"  fairness={r.fairness:.3f} acquire latency mean="
@@ -187,7 +228,7 @@ def cmd_microbench(args) -> int:
             "sample_interval": args.sample_interval,
             "machine": dataclasses.asdict(config),
         },
-        r, registry, tracer, profiler,
+        r, registry, tracer, profiler, host,
     )
     return 0
 
@@ -195,12 +236,14 @@ def cmd_microbench(args) -> int:
 def cmd_stm(args) -> int:
     config = _model(args.model)
     registry, tracer = _obs_setup(args)
+    host = _host_setup(args)
     r = run_stm_bench(
         config, args.variant, args.structure,
         threads=args.threads, initial_size=args.size,
         txns_per_thread=args.txns,
         registry=registry, tracer=tracer,
         sample_interval=args.sample_interval,
+        host_profiler=host,
     )
     print(r)
     _obs_emit(
@@ -212,7 +255,7 @@ def cmd_stm(args) -> int:
             "sample_interval": args.sample_interval,
             "machine": dataclasses.asdict(config),
         },
-        r, registry, tracer,
+        r, registry, tracer, host=host,
     )
     return 0
 
@@ -220,10 +263,12 @@ def cmd_stm(args) -> int:
 def cmd_app(args) -> int:
     config = _model(args.model)
     registry, tracer = _obs_setup(args)
+    host = _host_setup(args)
     r = run_app(config, args.name, args.lock,
                 threads=args.threads, seeds=list(range(1, args.seeds + 1)),
                 registry=registry, tracer=tracer,
-                sample_interval=args.sample_interval)
+                sample_interval=args.sample_interval,
+                host_profiler=host)
     print(r)
     _obs_emit(
         args, "app",
@@ -233,7 +278,7 @@ def cmd_app(args) -> int:
             "sample_interval": args.sample_interval,
             "machine": dataclasses.asdict(config),
         },
-        r, registry, tracer,
+        r, registry, tracer, host=host,
     )
     return 0
 
@@ -279,12 +324,39 @@ def cmd_figure(args) -> int:
 def cmd_report(args) -> int:
     import json
 
+    from repro.obs.host import (
+        HostProfileError, is_trajectory, validate_trajectory,
+    )
+
     try:
         with open(args.file) as f:
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
         return 2
+    if is_trajectory(report):
+        from repro.harness.bench import summarize_cell
+
+        try:
+            validate_trajectory(report)
+        except HostProfileError as exc:
+            print(f"invalid bench trajectory {args.file}: {exc}",
+                  file=sys.stderr)
+            return 1
+        records = report["records"]
+        print(f"bench trajectory: {len(records)} record(s)")
+        if records:
+            last = records[-1]
+            env = last.get("env", {})
+            print(f"latest record ({last.get('time_utc', '?')}"
+                  + (f", label {last['label']!r}" if last.get("label")
+                     else "")
+                  + f"): python {env.get('python', '?')} on "
+                  f"{env.get('machine', '?')}, "
+                  f"{env.get('cpu_count', '?')} CPUs")
+            for cell in last.get("cells", []):
+                print("  " + summarize_cell(cell))
+        return 0
     try:
         validate_run_report(report)
     except ReportValidationError as exc:
@@ -342,26 +414,100 @@ def cmd_profile(args) -> int:
 def cmd_diff(args) -> int:
     import json
 
-    from repro.obs.diff import diff_run_reports
+    from repro.obs.diff import diff_host_records, diff_run_reports
+    from repro.obs.host import (
+        HostProfileError, is_trajectory, latest_record, validate_trajectory,
+    )
 
-    if args.threshold < 0:
+    threshold = args.threshold
+    if threshold is None:
+        # host wall-clock jitters where simulated cycles are exact:
+        # the host gate defaults looser than the simulated-metrics gate
+        threshold = 0.25 if args.host else 0.10
+    if threshold < 0:
         print("error: --threshold must be >= 0", file=sys.stderr)
         return 2
-    reports = []
+
+    objs = []
     for path in (args.old, args.new):
         try:
             with open(path) as f:
-                rep = json.load(f)
+                objs.append(json.load(f))
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: cannot read {path}: {exc}", file=sys.stderr)
             return 2
-        try:
-            validate_run_report(rep)
-        except ReportValidationError as exc:
-            print(f"invalid run report {path}: {exc}", file=sys.stderr)
+    old_obj, new_obj = objs
+
+    if args.host:
+        if is_trajectory(old_obj) and is_trajectory(new_obj):
+            try:
+                validate_trajectory(old_obj)
+                validate_trajectory(new_obj)
+                # same file twice: compare the last two records, the
+                # natural "did my engine PR help" invocation
+                old_idx = (args.record - 1 if args.old == args.new
+                           else args.record)
+                old_rec = latest_record(old_obj, old_idx)
+                new_rec = latest_record(new_obj, args.record)
+            except HostProfileError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            d = diff_host_records(old_rec, new_rec, threshold=threshold)
+        elif is_trajectory(old_obj) or is_trajectory(new_obj):
+            print("error: --host needs two bench trajectories or two "
+                  "run reports, not one of each", file=sys.stderr)
             return 2
-        reports.append(rep)
-    d = diff_run_reports(reports[0], reports[1], threshold=args.threshold)
+        else:
+            for path, rep in zip((args.old, args.new), objs):
+                try:
+                    validate_run_report(rep)
+                except ReportValidationError as exc:
+                    print(f"invalid run report {path}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                if "host" not in rep:
+                    print(f"error: {path} has no 'host' section "
+                          f"(re-run with --host-prof)", file=sys.stderr)
+                    return 2
+            d = diff_run_reports(old_obj, new_obj, threshold=threshold,
+                                 include_host=True)
+        env_mismatch = [m for m in d.config_mismatches
+                        if m[0].startswith("env.")]
+        if env_mismatch:
+            print("warning: environment fingerprint mismatch — host "
+                  "numbers compare machines, not code:", file=sys.stderr)
+            for key, old_v, new_v in env_mismatch:
+                print(f"  {key}: {old_v!r} -> {new_v!r}", file=sys.stderr)
+    else:
+        reports = []
+        for path, obj in zip((args.old, args.new), objs):
+            if is_trajectory(obj):
+                # a trajectory baseline (e.g. BENCH_telemetry.json)
+                # stands in for the run report embedded in its latest
+                # record's first reporting cell (bench --embed-report)
+                try:
+                    validate_trajectory(obj)
+                    rec = latest_record(obj)
+                except HostProfileError as exc:
+                    print(f"error: {path}: {exc}", file=sys.stderr)
+                    return 2
+                obj = next(
+                    (c["report"] for c in rec["cells"] if "report" in c),
+                    None,
+                )
+                if obj is None:
+                    print(f"error: {path}: trajectory embeds no run "
+                          f"report (re-run bench with --embed-report, "
+                          f"or diff it with --host)",
+                          file=sys.stderr)
+                    return 2
+            try:
+                validate_run_report(obj)
+            except ReportValidationError as exc:
+                print(f"invalid run report {path}: {exc}", file=sys.stderr)
+                return 2
+            reports.append(obj)
+        d = diff_run_reports(reports[0], reports[1], threshold=threshold)
     print(d.summarize(top=args.top))
     if args.json_out:
         with open(args.json_out, "w") as f:
@@ -372,12 +518,80 @@ def cmd_diff(args) -> int:
         if args.fail_on_regression:
             print(
                 f"FAIL: {len(d.regressions)} regression(s) beyond "
-                f"{args.threshold:.0%}",
+                f"{threshold:.0%}",
                 file=sys.stderr,
             )
             return 1
         print(f"note: {len(d.regressions)} regression(s) found "
               f"(pass --fail-on-regression to gate)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.harness.bench import (
+        default_matrix, merged_folded, quick_matrix, run_bench,
+        summarize_cell,
+    )
+    from repro.obs.host import append_record
+
+    if args.quick:
+        specs = quick_matrix(iters=args.iters)
+        default_repeats = QUICK_REPEATS
+    else:
+        known = sorted(all_algorithms())
+        locks = args.locks.split(",") if args.locks else None
+        for lock in locks or []:
+            if lock not in known:
+                print(f"unknown lock {lock!r} (known: {', '.join(known)})",
+                      file=sys.stderr)
+                return 2
+        models = args.models.split(",") if args.models else None
+        threads = ([int(x) for x in args.threads.split(",")]
+                   if args.threads else None)
+        kwargs = {}
+        if locks:
+            kwargs["locks"] = locks
+        if models:
+            kwargs["models"] = models
+        if threads:
+            kwargs["threads"] = threads
+        specs = default_matrix(
+            write_pct=args.write_pct, iters=args.iters, seed=args.seed,
+            **kwargs,
+        )
+        default_repeats = DEFAULT_REPEATS
+    repeats = (args.repeats if args.repeats is not None
+               else default_repeats)
+    if repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+
+    print(f"bench: {len(specs)} cell(s), best of {repeats}"
+          + (" (host attribution off)" if args.no_host_prof else ""))
+    record, profilers = run_bench(
+        specs, repeats=repeats, host_prof=not args.no_host_prof,
+        profile=args.profile, sample_interval=args.sample_interval,
+        embed_report=args.embed_report, label=args.label, note=args.note,
+        progress=lambda cell: print(summarize_cell(cell)),
+    )
+    if args.folded_out:
+        if profilers:
+            with open(args.folded_out, "w") as f:
+                f.write(merged_folded(profilers))
+            print(f"host folded stacks: {args.folded_out}")
+        else:
+            print("note: --folded-out ignored with --no-host-prof")
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(record, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"bench record: {args.json_out}")
+    if args.no_append:
+        print(f"(trajectory {args.out} not touched: --no-append)")
+    else:
+        trajectory = append_record(args.out, record)
+        print(f"trajectory: {args.out} "
+              f"({len(trajectory['records'])} record(s))")
     return 0
 
 
@@ -503,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attach the contention profiler; with "
                          "--metrics-out, embeds a 'profile' section in "
                          "the run report, otherwise prints the summary")
+    _add_host_flag(mb)
     mb.set_defaults(fn=cmd_microbench)
 
     st = sub.add_parser("stm")
@@ -515,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--size", type=int, default=512)
     st.add_argument("--txns", type=int, default=40)
     _add_obs_flags(st)
+    _add_host_flag(st)
     st.set_defaults(fn=cmd_stm)
 
     ap = sub.add_parser("app")
@@ -526,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--threads", type=int, default=0)
     ap.add_argument("--seeds", type=int, default=3)
     _add_obs_flags(ap)
+    _add_host_flag(ap)
     ap.set_defaults(fn=cmd_app)
 
     fig = sub.add_parser("figure")
@@ -573,15 +790,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     df = sub.add_parser(
         "diff",
-        help="diff two run reports; exit 1 on regression with "
+        help="diff two run reports (or, with --host, two bench "
+             "trajectories); exit 1 on regression with "
              "--fail-on-regression",
     )
-    df.add_argument("old", help="baseline run-report JSON")
-    df.add_argument("new", help="candidate run-report JSON")
-    df.add_argument("--threshold", type=float, default=0.10,
+    df.add_argument("old", help="baseline run-report or trajectory JSON")
+    df.add_argument("new", help="candidate run-report or trajectory JSON")
+    df.add_argument("--threshold", type=float, default=None,
                     metavar="FRACTION",
                     help="relative change below which a quantity is "
-                         "'unchanged' (default 0.10 = 10%%)")
+                         "'unchanged' (default 0.10; 0.25 with --host "
+                         "because host wall-clock is noisy)")
+    df.add_argument("--host", action="store_true",
+                    help="compare *host* performance: cycles/host-sec, "
+                         "host-time attribution and engine counters "
+                         "from bench trajectories or --host-prof "
+                         "run reports")
+    df.add_argument("--record", type=int, default=-1, metavar="N",
+                    help="which trajectory record to compare (0-based; "
+                         "negatives count from the end; default -1 = "
+                         "latest; when OLD and NEW are the same file, "
+                         "OLD takes the record before NEW)")
     df.add_argument("--fail-on-regression", action="store_true",
                     help="exit 1 if any known-direction quantity "
                          "regressed beyond the threshold")
@@ -590,6 +819,66 @@ def build_parser() -> argparse.ArgumentParser:
     df.add_argument("--json-out", metavar="FILE", default=None,
                     help="write the machine-readable diff here")
     df.set_defaults(fn=cmd_diff)
+
+    bn = sub.add_parser(
+        "bench",
+        help="benchmark the simulator itself: pinned matrix, best-of-N "
+             "host timings, host-time attribution; appends one record "
+             "to a trajectory (BENCH_engine.json)",
+    )
+    bn.add_argument("--quick", action="store_true",
+                    help=f"single pinned cell "
+                         f"({'/'.join(map(str, QUICK_CELL))}), best of "
+                         f"{QUICK_REPEATS} — the CI smoke configuration")
+    bn.add_argument("--locks", default=None, metavar="CSV",
+                    help="comma-separated lock list "
+                         f"(default: {','.join(DEFAULT_LOCKS)})")
+    bn.add_argument("--models", default=None, metavar="CSV",
+                    help="comma-separated model list (default: A,B)")
+    bn.add_argument("--threads", default=None, metavar="CSV",
+                    help="comma-separated thread counts "
+                         f"(default: "
+                         f"{','.join(map(str, DEFAULT_THREADS))})")
+    bn.add_argument("--write-pct", type=int, default=DEFAULT_WRITE_PCT)
+    bn.add_argument("--iters", type=int, default=DEFAULT_ITERS,
+                    help="lock/unlock iterations per thread")
+    bn.add_argument("--repeats", type=int, default=None,
+                    help=f"timed repeats per cell (best-of-N; default "
+                         f"{DEFAULT_REPEATS}, {QUICK_REPEATS} with "
+                         f"--quick)")
+    bn.add_argument("--seed", type=int, default=1)
+    bn.add_argument("--no-host-prof", action="store_true",
+                    help="skip host-time attribution in the "
+                         "instrumented pass (engine counters are still "
+                         "collected)")
+    bn.add_argument("--profile", action="store_true",
+                    help="also attach the contention profiler and embed "
+                         "a BENCH_profile-style digest per cell")
+    bn.add_argument("--sample-interval", type=int, default=0,
+                    metavar="CYCLES",
+                    help="gauge sampling interval for the instrumented "
+                         "pass (0 = off)")
+    bn.add_argument("--embed-report", action="store_true",
+                    help="embed a full run report (schema v3) per cell "
+                         "so plain 'repro diff' can read the "
+                         "trajectory")
+    bn.add_argument("--out", metavar="FILE", default="BENCH_engine.json",
+                    help="trajectory file to append to "
+                         "(default: BENCH_engine.json)")
+    bn.add_argument("--label", default=None,
+                    help="record label; appending an existing label "
+                         "replaces that record (idempotent re-runs)")
+    bn.add_argument("--note", default=None,
+                    help="free-form note stored in the record")
+    bn.add_argument("--no-append", action="store_true",
+                    help="don't touch the trajectory (use with "
+                         "--json-out for throwaway runs)")
+    bn.add_argument("--json-out", metavar="FILE", default=None,
+                    help="also write this run's single record here")
+    bn.add_argument("--folded-out", metavar="FILE", default=None,
+                    help="write merged host folded stacks "
+                         "(flamegraph.pl/speedscope format) here")
+    bn.set_defaults(fn=cmd_bench)
 
     ck = sub.add_parser(
         "check",

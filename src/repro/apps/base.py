@@ -86,12 +86,15 @@ def run_app(
     registry=None,
     tracer=None,
     sample_interval: int = 0,
+    host_profiler=None,
 ) -> AppResult:
     """Run one app kernel under one lock model, averaged over seeds.
 
     ``registry`` accumulates machine counters across every seed;
     ``tracer`` records message spans for the *first* seed only (one
-    coherent timeline beats three overlaid ones)."""
+    coherent timeline beats three overlaid ones); ``host_profiler``
+    accumulates host-time attribution across *all* seeds (it re-attaches
+    to each seed's fresh simulator)."""
     try:
         app_cls = _APPS[app_name]
     except KeyError:
@@ -110,13 +113,16 @@ def run_app(
         run_tracer = tracer if run_idx == 0 else None
         if run_tracer is not None:
             run_tracer.attach(machine)
+        if host_profiler is not None:
+            host_profiler.attach(machine.sim)
         for i in range(threads):
             os_.spawn(
                 lambda t, i=i: app.worker(t, i), name=f"{app_name}-{i}"
             )
         elapsed = os_.run_all(max_cycles=max_cycles)
         acc.add(elapsed)
-        finish_run(machine, registry, run_tracer)
+        finish_run(machine, registry, run_tracer,
+                   host_profiler=host_profiler)
     return AppResult(
         app=app_name,
         lock=lock_name,

@@ -74,6 +74,7 @@ def run_microbench(
     tracer=None,
     sample_interval: int = 0,
     profiler=None,
+    host_profiler=None,
 ) -> MicrobenchResult:
     """Run the single-lock critical-section benchmark.
 
@@ -87,8 +88,11 @@ def run_microbench(
     :class:`repro.obs.SpanTracer`) records per-thread acquire / CS spans
     and network message spans; ``profiler`` (a
     :class:`repro.obs.profile.ContentionProfiler`) attributes acquire
-    latency to protocol phases via hardware probes.  All default to off
-    and cost nothing when absent.
+    latency to protocol phases via hardware probes; ``host_profiler``
+    (a :class:`repro.obs.host.HostProfiler`) routes the engine through
+    its instrumented dispatch loop, charging *host* nanoseconds to
+    subsystems (``--host-prof``).  All default to off and cost nothing
+    when absent.
     """
     if mode not in ("iterations", "duration"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -104,6 +108,8 @@ def run_microbench(
     if profiler is not None:
         profiler.attach_machine(machine)
         profiler.attach_algorithm(algo)
+    if host_profiler is not None:
+        host_profiler.attach(machine.sim)
 
     per_thread_cs = [0] * threads
     writer_cs = [0]
@@ -180,7 +186,8 @@ def run_microbench(
         registry.histogram(
             "bench.acquire_latency", bucket_width=acquire_lat.bucket_width
         ).merge(acquire_lat)
-    finish_run(machine, registry, tracer, profiler=profiler)
+    finish_run(machine, registry, tracer, profiler=profiler,
+               host_profiler=host_profiler)
     return MicrobenchResult(
         lock=lock_name,
         model=config.name,

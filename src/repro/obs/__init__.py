@@ -21,9 +21,22 @@ The observability layer of the reproduction (see README "Observability"):
   (``python -m repro profile``).
 * :mod:`repro.obs.diff` — structural RunReport diffing with relative-
   threshold regression verdicts (``python -m repro diff``).
+* :mod:`repro.obs.host` — :class:`HostProfiler`: host-time attribution
+  for the simulator itself (which subsystem burns host nanoseconds),
+  engine event-queue telemetry, environment fingerprints and the
+  ``repro.bench-trajectory`` schema behind ``python -m repro bench``.
 """
 
 from repro.obs.diff import RunReportDiff, diff_run_reports
+from repro.obs.host import (
+    HostProfileError,
+    HostProfiler,
+    append_record,
+    env_fingerprint,
+    load_trajectory,
+    validate_host_section,
+    validate_trajectory,
+)
 from repro.obs.instrument import (
     attach_machine_metrics,
     finish_run,
@@ -35,7 +48,13 @@ from repro.obs.profile import (
     ProfileError,
     validate_profile,
 )
-from repro.obs.registry import Counter, Gauge, MetricError, MetricsRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    HostTimer,
+    MetricError,
+    MetricsRegistry,
+)
 from repro.obs.report import (
     RUN_REPORT_KINDS,
     RUN_REPORT_SCHEMA,
@@ -50,7 +69,7 @@ from repro.obs.report import (
 from repro.obs.spans import Span, SpanError, SpanTracer, validate_chrome_trace
 
 __all__ = [
-    "MetricsRegistry", "Counter", "Gauge", "MetricError",
+    "MetricsRegistry", "Counter", "Gauge", "HostTimer", "MetricError",
     "SpanTracer", "Span", "SpanError", "validate_chrome_trace",
     "build_run_report", "validate_run_report", "write_run_report",
     "load_run_report", "summarize_run_report", "ReportValidationError",
@@ -59,4 +78,7 @@ __all__ = [
     "harvest_stm_metrics", "finish_run",
     "ContentionProfiler", "ProfileError", "validate_profile",
     "RunReportDiff", "diff_run_reports",
+    "HostProfiler", "HostProfileError", "validate_host_section",
+    "env_fingerprint", "load_trajectory", "append_record",
+    "validate_trajectory",
 ]

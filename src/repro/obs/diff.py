@@ -18,6 +18,16 @@ never fail the gate, so adding a new counter can't break CI.
 Config keys are compared too — a diff between runs of *different
 experiments* is almost always user error, so config mismatches are
 listed prominently (but are not regressions).
+
+``python -m repro diff --host`` extends the same machinery to *host*
+performance: it compares two bench-trajectory records (or two v3
+RunReports with ``host`` sections) — cycles-per-host-second, best-of-N
+host seconds, per-subsystem host-time attribution and the engine's
+event-queue counters.  Host wall-clock is noisy where simulated cycles
+are exact, so host diffs use their own (more generous) threshold and
+carry the records' environment fingerprints: a mismatch (different
+python, different machine) is flagged because it compares machines,
+not code.
 """
 
 from __future__ import annotations
@@ -25,18 +35,23 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Tuple
 
-#: name substrings implying "smaller is better" (latency-like)
+#: name substrings implying "smaller is better" (latency-like).
+#: "host" covers every host-time quantity (host_seconds_*, host_ns.*,
+#: host.total_ns) — all of them are time burned.
 LOWER_IS_BETTER = (
     "latency", "lat", "cycles", "elapsed", "abort", "retries", "retry",
     "timeout", "failures", "failed", "misses", "invalidations",
     "queue_delay", "busy", "messages", "wait", "evictions", "nacks",
     "dropped", "overflow", "stall", "handoff", "transfer", "enqueue",
+    "host", "heap_pushes", "heap_pops", "events_processed",
 )
 
-#: name substrings implying "bigger is better" (throughput-like)
+#: name substrings implying "bigger is better" (throughput-like).
+#: "per_host_sec" outranks the "host"/"cycles" lower-is-better matches
+#: because higher-is-better substrings win ties.
 HIGHER_IS_BETTER = (
     "total_cs", "throughput", "commit", "fairness", "hits", "ops",
-    "acquisitions", "completed",
+    "acquisitions", "completed", "per_host_sec",
 )
 
 #: verdicts, in severity order for sorting
@@ -103,13 +118,28 @@ def _numeric_leaves(obj: Any, prefix: str) -> Dict[str, float]:
     return out
 
 
-def _comparable(report: Dict[str, Any]) -> Dict[str, float]:
-    """Extract the quantities worth diffing from one RunReport."""
+def _comparable(
+    report: Dict[str, Any], include_host: bool = False
+) -> Dict[str, float]:
+    """Extract the quantities worth diffing from one RunReport.
+
+    ``include_host`` adds the v3 ``host`` section (total + per-subsystem
+    nanoseconds).  Host times are wall-clock noise on shared machines,
+    so they only enter the comparison when the caller asked for a host
+    diff — adding ``--host-prof`` to a run can never fail the ordinary
+    simulated-metrics gate."""
     out: Dict[str, float] = {}
     out.update(_numeric_leaves(report.get("results", {}), "results"))
     metrics = report.get("metrics", {})
-    out.update(_numeric_leaves(metrics.get("counters", {}),
-                               "metrics.counters"))
+    counters = _numeric_leaves(metrics.get("counters", {}),
+                               "metrics.counters")
+    if not include_host:
+        # registry HostTimer counters (".host_ns" convention) are host
+        # wall-clock: nondeterministic, so they would flake the
+        # deterministic simulated-metrics gate
+        counters = {k: v for k, v in counters.items()
+                    if not k.endswith(".host_ns")}
+    out.update(counters)
     for name, h in metrics.get("histograms", {}).items():
         if not isinstance(h, dict):
             continue
@@ -130,6 +160,14 @@ def _comparable(report: Dict[str, Any]) -> Dict[str, float]:
                     s.get("mean"), (int, float)
                 ):
                     out[f"profile.{label}.{p}.mean"] = s["mean"]
+    if include_host:
+        host = report.get("host")
+        if isinstance(host, dict):
+            if isinstance(host.get("total_ns"), (int, float)):
+                out["host.total_ns"] = host["total_ns"]
+            subs = host.get("subsystems")
+            if isinstance(subs, dict):
+                out.update(_numeric_leaves(subs, "host.host_ns"))
     return out
 
 
@@ -223,17 +261,19 @@ def diff_run_reports(
     old: Dict[str, Any],
     new: Dict[str, Any],
     threshold: float = 0.10,
+    include_host: bool = False,
 ) -> RunReportDiff:
     """Compare two (already validated) RunReport dicts.
 
     ``threshold`` is the relative change below which a quantity counts
     as ``unchanged``; only known-direction quantities beyond it become
-    ``regression``/``improvement``.
+    ``regression``/``improvement``.  ``include_host`` also compares the
+    v3 ``host`` sections (see :func:`_comparable`).
     """
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
-    old_q = _comparable(old)
-    new_q = _comparable(new)
+    old_q = _comparable(old, include_host=include_host)
+    new_q = _comparable(new, include_host=include_host)
     entries: List[DiffEntry] = []
     for key in sorted(set(old_q) | set(new_q)):
         if key not in new_q:
@@ -256,4 +296,83 @@ def diff_run_reports(
     for k in sorted(set(old_cfg) | set(new_cfg)):
         if old_cfg.get(k) != new_cfg.get(k):
             mismatches.append((k, old_cfg.get(k), new_cfg.get(k)))
+    return RunReportDiff(entries, mismatches, threshold)
+
+
+# --------------------------------------------------------------------- #
+# host diffs (`repro diff --host`)
+
+def host_comparable(record: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten one bench-trajectory record into dotted-path -> number.
+
+    Cells are keyed by their configuration (``lcu.A.t16.w100``) rather
+    than list position, so reordering or extending the matrix pairs up
+    the surviving cells instead of shifting everything."""
+    out: Dict[str, float] = {}
+    for cell in record.get("cells", []):
+        if not isinstance(cell, dict):
+            continue
+        prefix = f"{cell.get('lock')}.{cell.get('model')}" \
+                 f".t{cell.get('threads')}"
+        if cell.get("write_pct") is not None:
+            prefix += f".w{cell.get('write_pct')}"
+        for key in ("cycles_per_host_sec", "host_seconds_best",
+                    "host_seconds_mean", "simulated_cycles", "total_cs",
+                    "cycles_per_cs"):
+            v = cell.get(key)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[f"{prefix}.{key}"] = v
+        engine = cell.get("engine")
+        if isinstance(engine, dict):
+            out.update(_numeric_leaves(engine, f"{prefix}.engine"))
+        host = cell.get("host")
+        if isinstance(host, dict):
+            subs = host.get("subsystems")
+            if isinstance(subs, dict):
+                out.update(_numeric_leaves(subs, f"{prefix}.host_ns"))
+    return out
+
+
+def diff_host_records(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = 0.25,
+) -> RunReportDiff:
+    """Compare two bench-trajectory records' host metrics.
+
+    ``threshold`` defaults looser than the simulated-metrics diff (25%
+    vs 10%): host wall-clock on shared runners jitters in ways
+    simulated cycles never do.  Environment-fingerprint differences are
+    reported through ``config_mismatches`` (``env.python`` etc.) so the
+    caller can warn that the two records measured different machines.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    old_q = host_comparable(old)
+    new_q = host_comparable(new)
+    entries: List[DiffEntry] = []
+    for key in sorted(set(old_q) | set(new_q)):
+        if key not in new_q:
+            entries.append(DiffEntry(key, old_q[key], None, None,
+                                     "removed", direction_of(key)))
+        elif key not in old_q:
+            entries.append(DiffEntry(key, None, new_q[key], None,
+                                     "added", direction_of(key)))
+        else:
+            ratio, verdict, direction = _verdict(
+                key, old_q[key], new_q[key], threshold
+            )
+            entries.append(DiffEntry(key, old_q[key], new_q[key],
+                                     ratio, verdict, direction))
+    entries.sort(key=lambda e: (VERDICTS.index(e.verdict), e.key))
+
+    from repro.obs.host import fingerprint_mismatches
+    mismatches: List[Tuple[str, Any, Any]] = [
+        (f"env.{k}", o, n)
+        for k, o, n in fingerprint_mismatches(
+            old.get("env") or {}, new.get("env") or {}
+        )
+    ]
+    if old.get("label") != new.get("label"):
+        mismatches.append(("label", old.get("label"), new.get("label")))
     return RunReportDiff(entries, mismatches, threshold)

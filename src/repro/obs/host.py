@@ -1,0 +1,478 @@
+"""Host-performance observatory: where does *host* time go?
+
+``repro.obs`` measures the simulated machine; this module measures the
+simulator itself.  It is the evidence-gathering half of the engine-speed
+roadmap item: before rewriting the discrete-event core we want the same
+measurement discipline the paper applies to lock fairness applied to our
+own hot path.
+
+Three pieces:
+
+* :class:`HostProfiler` — the attribution sink for the engine's
+  instrumented dispatch loop (:meth:`repro.sim.engine.Simulator.
+  attach_host_profiler`).  Every host nanosecond spent inside
+  ``Simulator.run`` is charged to exactly one bucket: the event
+  handler's *subsystem* (classified once per code object from the
+  handler's defining module — ``repro.net`` -> ``net``, ``repro.lcu``
+  -> ``lcu``, ...), ``obs`` for invariant probes and sampling ticks, or
+  ``engine`` for the loop itself (heap ops, bound checks).  Because the
+  charge intervals tile the loop's wall time, per-subsystem totals sum
+  to ``total_ns`` *by construction*.  Per-handler totals feed a folded-
+  stack export for host flamegraphs and the ``host`` section of
+  RunReport schema v3.
+* :func:`env_fingerprint` — the environment stamp every bench record
+  carries (python version/implementation, platform, CPU count) so a
+  trajectory mixing machines is visible instead of silently noisy.
+* The **bench trajectory** schema (``repro.bench-trajectory``) —
+  the machine-readable, append-only record list behind
+  ``BENCH_engine.json`` and ``python -m repro bench``; see
+  :mod:`repro.harness.bench` for the runner that produces records.
+
+Zero-cost contract: nothing here is imported by the simulator; with no
+profiler attached the engine runs its original loop and ``--host-prof``
+off costs only one falsy check per ``Simulator.run`` call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: attribution buckets, in report order.  ``engine`` is the event loop
+#: itself; ``obs`` is observability overhead (probes, sampling ticks,
+#: span bookkeeping) charged to its own bucket so telemetry can never
+#: masquerade as simulation work; ``other`` catches handlers defined
+#: outside the repro package (tests, examples, ad-hoc scripts).
+SUBSYSTEMS = (
+    "engine", "net", "mem", "lcu", "ssb", "stm", "locks", "cpu",
+    "apps", "harness", "obs", "check", "faults", "other",
+)
+
+#: second component of a ``repro.*`` module path -> subsystem bucket.
+_PKG_TO_SUBSYSTEM = {
+    "sim": "engine",
+    "net": "net",
+    "mem": "mem",
+    "lcu": "lcu",
+    "ssb": "ssb",
+    "stm": "stm",
+    "locks": "locks",
+    "cpu": "cpu",
+    "apps": "apps",
+    "harness": "harness",
+    "obs": "obs",
+    "check": "check",
+    "faults": "faults",
+}
+
+
+class HostProfileError(ValueError):
+    """Malformed host section / bench trajectory."""
+
+
+def classify_module(module: Optional[str]) -> str:
+    """Map a handler's defining module to its attribution bucket."""
+    if not module:
+        return "other"
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return "other"
+    return _PKG_TO_SUBSYSTEM.get(parts[1], "other")
+
+
+class HostProfiler:
+    """Charges host nanoseconds to subsystems and per-event handlers.
+
+    The engine's instrumented loop calls :meth:`charge` (loop/probe
+    intervals) and :meth:`charge_event` (handler intervals); both are a
+    couple of dict operations, which is the entire per-event overhead of
+    ``--host-prof``.  Handler classification is cached per code object,
+    so the string work happens once per handler *kind*, not per event.
+    """
+
+    #: host clock, overridable in tests for deterministic charging
+    clock: Callable[[], int] = staticmethod(time.perf_counter_ns)
+
+    def __init__(self) -> None:
+        self.subsystems: Dict[str, int] = {}
+        #: handler qualname -> [subsystem, ns, events]
+        self._handlers: Dict[str, List[Any]] = {}
+        self.total_ns: int = 0
+        #: classification cache keyed by code object (closures share one)
+        self._cache: Dict[Any, Tuple[str, str]] = {}
+        self._sims: List[Any] = []
+        #: engine event-queue stats folded in at detach time
+        self.engine_stats: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # attachment
+
+    def attach(self, sim) -> None:
+        """Route ``sim``'s run loop through the instrumented dispatch."""
+        sim.attach_host_profiler(self)
+        if sim not in self._sims:
+            self._sims.append(sim)
+
+    def detach(self) -> None:
+        """Detach from every simulator, folding each one's event-queue
+        stats (:meth:`~repro.sim.engine.Simulator.engine_stats`) into
+        :attr:`engine_stats` (sums; depth peak as max, depth mean
+        event-weighted).  Idempotent."""
+        for sim in self._sims:
+            self._merge_engine_stats(sim.engine_stats())
+            sim.detach_host_profiler()
+        self._sims = []
+
+    def _merge_engine_stats(self, stats: Dict[str, float]) -> None:
+        acc = self.engine_stats
+        old_events = acc.get("events_processed", 0)
+        new_events = stats.get("events_processed", 0)
+        for key, value in stats.items():
+            if key == "queue_depth_peak":
+                acc[key] = max(acc.get(key, 0), value)
+            elif key == "queue_depth_mean":
+                total = old_events + new_events
+                if total:
+                    acc[key] = (
+                        acc.get(key, 0.0) * old_events + value * new_events
+                    ) / total
+            else:
+                acc[key] = acc.get(key, 0) + value
+
+    # ------------------------------------------------------------------ #
+    # charging (called from the engine's instrumented loop)
+
+    def charge(self, subsystem: str, ns: int) -> None:
+        """Charge ``ns`` host nanoseconds to ``subsystem``."""
+        if ns < 0:  # non-monotonic clock hiccup: drop, never go negative
+            return
+        self.total_ns += ns
+        self.subsystems[subsystem] = self.subsystems.get(subsystem, 0) + ns
+
+    def charge_event(self, fn: Callable[[], None], ns: int) -> None:
+        """Charge ``ns`` to the subsystem and handler that ``fn``
+        belongs to (classified once per code object)."""
+        func = getattr(fn, "__func__", fn)
+        code = getattr(func, "__code__", None)
+        key = code if code is not None else type(fn)
+        ent = self._cache.get(key)
+        if ent is None:
+            if code is not None:
+                module = getattr(func, "__module__", None)
+                qual = getattr(func, "__qualname__", repr(fn))
+            else:  # callable object: classify by its class
+                cls = type(fn)
+                module = cls.__module__
+                qual = cls.__qualname__ + ".__call__"
+            ent = self._cache[key] = (classify_module(module), qual)
+        subsystem, qual = ent
+        if ns < 0:
+            return
+        self.total_ns += ns
+        self.subsystems[subsystem] = self.subsystems.get(subsystem, 0) + ns
+        h = self._handlers.get(qual)
+        if h is None:
+            self._handlers[qual] = [subsystem, ns, 1]
+        else:
+            h[1] += ns
+            h[2] += 1
+
+    # ------------------------------------------------------------------ #
+    # export
+
+    @property
+    def handlers(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            qual: {"subsystem": sub, "ns": ns, "events": events}
+            for qual, (sub, ns, events) in sorted(self._handlers.items())
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``host`` section of a RunReport (schema v3)."""
+        out: Dict[str, Any] = {
+            "enabled": True,
+            "total_ns": self.total_ns,
+            "subsystems": {
+                name: ns for name, ns in sorted(self.subsystems.items())
+            },
+            "handlers": self.handlers,
+        }
+        if self.engine_stats:
+            out["engine"] = dict(self.engine_stats)
+        return out
+
+    def folded(self) -> str:
+        """Folded-stack lines (``host;<subsystem>;<handler> <ns>``) for
+        flamegraph.pl / speedscope, one frame path per handler plus a
+        synthetic frame for unattributed loop/probe time."""
+        rows: Dict[str, int] = {}
+        for qual, (sub, ns, _events) in self._handlers.items():
+            rows[f"host;{sub};{qual}"] = rows.get(f"host;{sub};{qual}", 0) + ns
+        attributed: Dict[str, int] = {}
+        for _path, _ns in rows.items():
+            sub = _path.split(";", 2)[1]
+            attributed[sub] = attributed.get(sub, 0) + _ns
+        for sub, ns in self.subsystems.items():
+            rest = ns - attributed.get(sub, 0)
+            if rest > 0:
+                label = "loop" if sub == "engine" else "overhead"
+                rows[f"host;{sub};[{label}]"] = rest
+        return "".join(
+            f"{path} {ns}\n" for path, ns in sorted(rows.items()) if ns > 0
+        )
+
+    def write_folded(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.folded())
+
+    def summarize(self, top: int = 8) -> str:
+        """Human-readable digest for the CLI."""
+        lines = [f"host time: {self.total_ns / 1e6:.1f} ms attributed"]
+        total = self.total_ns or 1
+        for name, ns in sorted(
+            self.subsystems.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"  {name:8s} {ns / 1e6:9.2f} ms  {100.0 * ns / total:5.1f}%"
+            )
+        hot = sorted(
+            self._handlers.items(), key=lambda kv: -kv[1][1]
+        )[:top]
+        if hot:
+            lines.append(f"hottest handlers ({len(hot)}):")
+            for qual, (sub, ns, events) in hot:
+                per = ns / events if events else 0.0
+                lines.append(
+                    f"  {sub:7s} {qual:44.44s} {ns / 1e6:8.2f} ms  "
+                    f"{events:>8d} ev  {per:6.0f} ns/ev"
+                )
+        eng = self.engine_stats
+        if eng:
+            lines.append(
+                "event queue: "
+                f"{eng.get('heap_pushes', 0):.0f} pushes, "
+                f"{eng.get('heap_pops', 0):.0f} pops, "
+                f"depth peak {eng.get('queue_depth_peak', 0):.0f} / "
+                f"mean {eng.get('queue_depth_mean', 0.0):.1f}; "
+                f"signals {eng.get('signal_waits', 0):.0f} waits / "
+                f"{eng.get('signal_cancels', 0):.0f} cancels / "
+                f"{eng.get('signal_fires', 0):.0f} fires"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# host-section validation (RunReport schema v3)
+
+_NUMBER = (int, float)
+
+
+def validate_host_section(host: Any) -> None:
+    """Raise :class:`HostProfileError` unless ``host`` is a well-formed
+    ``host`` section of a v3 RunReport."""
+    errors: List[str] = []
+    if not isinstance(host, dict):
+        raise HostProfileError("host section must be an object")
+    if not isinstance(host.get("enabled"), bool):
+        errors.append("host.enabled must be a boolean")
+    if not isinstance(host.get("total_ns"), _NUMBER) or isinstance(
+        host.get("total_ns"), bool
+    ):
+        errors.append("host.total_ns must be a number")
+    subs = host.get("subsystems")
+    if not isinstance(subs, dict):
+        errors.append("host.subsystems must be an object")
+    else:
+        for name, ns in subs.items():
+            if not isinstance(ns, _NUMBER) or isinstance(ns, bool):
+                errors.append(f"host.subsystems[{name!r}] must be a number")
+    handlers = host.get("handlers")
+    if handlers is not None:
+        if not isinstance(handlers, dict):
+            errors.append("host.handlers must be an object")
+        else:
+            for qual, h in handlers.items():
+                if not isinstance(h, dict) or not all(
+                    isinstance(h.get(k), _NUMBER) and
+                    not isinstance(h.get(k), bool)
+                    for k in ("ns", "events")
+                ):
+                    errors.append(
+                        f"host.handlers[{qual!r}] must have numeric "
+                        f"ns/events"
+                    )
+    engine = host.get("engine")
+    if engine is not None and not isinstance(engine, dict):
+        errors.append("host.engine must be an object")
+    if errors:
+        raise HostProfileError("; ".join(errors))
+
+
+# ---------------------------------------------------------------------- #
+# environment fingerprint
+
+def env_fingerprint() -> Dict[str, Any]:
+    """The environment stamp carried by every bench-trajectory record.
+    Two records with different fingerprints are still diffable, but
+    ``repro diff --host`` warns: cross-machine host numbers are a
+    comparison of machines, not of code."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def fingerprint_mismatches(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[Tuple[str, Any, Any]]:
+    """Keys on which two environment fingerprints disagree."""
+    keys = sorted(set(old) | set(new))
+    return [
+        (k, old.get(k), new.get(k))
+        for k in keys if old.get(k) != new.get(k)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# bench trajectory (the BENCH_*.json record-list schema)
+
+TRAJECTORY_SCHEMA = "repro.bench-trajectory"
+TRAJECTORY_VERSION = 1
+
+
+def empty_trajectory() -> Dict[str, Any]:
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "version": TRAJECTORY_VERSION,
+        "records": [],
+    }
+
+
+def is_trajectory(obj: Any) -> bool:
+    return isinstance(obj, dict) and obj.get("schema") == TRAJECTORY_SCHEMA
+
+
+def validate_record(record: Any) -> None:
+    """Raise :class:`HostProfileError` unless ``record`` is one valid
+    trajectory record."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        raise HostProfileError("record must be an object")
+    if not isinstance(record.get("env"), dict):
+        errors.append("record.env must be an object (env_fingerprint)")
+    cells = record.get("cells")
+    if not isinstance(cells, list):
+        errors.append("record.cells must be a list")
+    else:
+        for i, cell in enumerate(cells):
+            if not isinstance(cell, dict):
+                errors.append(f"record.cells[{i}] must be an object")
+                continue
+            for key in ("lock", "model"):
+                if not isinstance(cell.get(key), str):
+                    errors.append(f"record.cells[{i}].{key} must be a string")
+            for key in ("threads", "cycles_per_host_sec",
+                        "simulated_cycles"):
+                v = cell.get(key)
+                if not isinstance(v, _NUMBER) or isinstance(v, bool):
+                    errors.append(f"record.cells[{i}].{key} must be a number")
+            if not isinstance(cell.get("engine"), dict):
+                errors.append(f"record.cells[{i}].engine must be an object")
+            if "host" in cell:
+                try:
+                    validate_host_section(cell["host"])
+                except HostProfileError as exc:
+                    errors.append(f"record.cells[{i}].{exc}")
+    label = record.get("label")
+    if label is not None and not isinstance(label, str):
+        errors.append("record.label must be a string")
+    report = record.get("report")
+    if report is not None:
+        from repro.obs.report import ReportValidationError, validate_run_report
+        try:
+            validate_run_report(report)
+        except ReportValidationError as exc:
+            errors.append(f"record.report: {exc}")
+    if errors:
+        raise HostProfileError("; ".join(errors))
+
+
+def validate_trajectory(obj: Any) -> None:
+    """Raise :class:`HostProfileError` unless ``obj`` is a valid
+    trajectory document."""
+    if not isinstance(obj, dict):
+        raise HostProfileError("trajectory must be a JSON object")
+    if obj.get("schema") != TRAJECTORY_SCHEMA:
+        raise HostProfileError(f"schema must be {TRAJECTORY_SCHEMA!r}")
+    if obj.get("version") != TRAJECTORY_VERSION:
+        raise HostProfileError(f"version must be {TRAJECTORY_VERSION}")
+    records = obj.get("records")
+    if not isinstance(records, list):
+        raise HostProfileError("records must be a list")
+    for i, record in enumerate(records):
+        try:
+            validate_record(record)
+        except HostProfileError as exc:
+            raise HostProfileError(f"records[{i}]: {exc}") from None
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Read and validate a trajectory; a missing file is an empty one."""
+    if not os.path.exists(path):
+        return empty_trajectory()
+    with open(path) as f:
+        obj = json.load(f)
+    validate_trajectory(obj)
+    return obj
+
+
+def write_trajectory(path: str, trajectory: Dict[str, Any]) -> None:
+    validate_trajectory(trajectory)
+    with open(path, "w") as f:
+        json.dump(trajectory, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def append_record(path: str, record: Dict[str, Any]) -> Dict[str, Any]:
+    """Append ``record`` to the trajectory at ``path`` (created if
+    missing) and write it back.  Appending is *label-idempotent*: a
+    record carrying the same non-empty ``label`` as an existing one
+    replaces it in place instead of duplicating the trajectory — re-
+    running a labelled baseline refresh converges instead of growing.
+    Returns the updated trajectory."""
+    validate_record(record)
+    trajectory = load_trajectory(path)
+    label = record.get("label")
+    replaced = False
+    if label:
+        for i, existing in enumerate(trajectory["records"]):
+            if existing.get("label") == label:
+                trajectory["records"][i] = record
+                replaced = True
+                break
+    if not replaced:
+        trajectory["records"].append(record)
+    write_trajectory(path, trajectory)
+    return trajectory
+
+
+def latest_record(
+    obj: Dict[str, Any], index: int = -1
+) -> Dict[str, Any]:
+    """Record ``index`` (default: last) of a trajectory document."""
+    records = obj.get("records") or []
+    if not records:
+        raise HostProfileError("trajectory has no records")
+    try:
+        return records[index]
+    except IndexError:
+        raise HostProfileError(
+            f"trajectory has {len(records)} record(s); "
+            f"index {index} is out of range"
+        ) from None

@@ -98,6 +98,16 @@ def harvest_machine_metrics(
 
     registry.counter("engine.events_processed").inc(sim.events_processed)
     registry.counter("engine.cycles").inc(sim.now)
+    # event-queue internals (repro.obs.host / `repro bench` feed on
+    # these to choose between heap, calendar-queue and slot-event
+    # designs): heap churn, depth profile, Signal waiter churn.
+    registry.counter("engine.heap_pushes").inc(sim.heap_pushes)
+    registry.counter("engine.heap_pops").inc(sim.heap_pops)
+    registry.counter("engine.signal_waits").inc(sim.signal_waits)
+    registry.counter("engine.signal_cancels").inc(sim.signal_cancels)
+    registry.counter("engine.signal_fires").inc(sim.signal_fires)
+    registry.gauge("engine.queue_depth_peak").set(sim.queue_depth_peak)
+    registry.gauge("engine.queue_depth_mean").set(sim.queue_depth_mean)
 
     registry.counter("net.messages_sent").inc(net.messages_sent)
     registry.counter("net.inter_chip_messages").inc(net.inter_chip_messages)
@@ -170,10 +180,13 @@ def finish_run(
     tracer=None,
     stm=None,
     profiler=None,
+    host_profiler=None,
 ) -> None:
     """Common post-run teardown used by the harness entry points: stop
     gauge sampling, take a final sample, harvest counters, drop in-flight
-    message spans, unwrap the tracer and detach the profiler's probes."""
+    message spans, unwrap the tracer and detach the contention/host
+    profilers (the host profiler folds the engine's event-queue stats
+    into itself on detach)."""
     if registry is not None:
         if registry.is_sampling:
             registry.sample(machine.sim.now)
@@ -186,3 +199,5 @@ def finish_run(
         tracer.detach()
     if profiler is not None:
         profiler.detach()
+    if host_profiler is not None:
+        host_profiler.detach()

@@ -9,11 +9,11 @@ dump).  The schema is versioned so downstream tooling — including the
 repo's own ``BENCH_telemetry.json`` perf-trajectory baseline — can evolve
 without guessing.
 
-Top-level shape (version 2)::
+Top-level shape (version 3)::
 
     {
       "schema": "repro.run-report",
-      "version": 2,
+      "version": 3,
       "kind": "microbench" | "stm" | "app" | "figure",
       "config": {...},          # machine model + harness parameters
       "results": {...},         # harness result fields, JSON-safe
@@ -24,12 +24,14 @@ Top-level shape (version 2)::
                               percentiles: {pN: number}}},
         "series": {name: [[t, value], ...]}
       },
-      "profile": {...}          # optional: ContentionProfiler.to_dict()
+      "profile": {...},         # optional: ContentionProfiler.to_dict()
+      "host": {...}             # optional: HostProfiler.to_dict()
+                                # (--host-prof host-time attribution)
     }
 
-Version 1 (no ``profile`` section) is still accepted everywhere —
-``BENCH_telemetry.json`` baselines stay valid and diffable.  Reports
-are always *written* at version 2.
+Version 1 (no ``profile`` section) and version 2 (no ``host`` section)
+are still accepted everywhere — older BENCH baselines stay valid and
+diffable.  Reports are always *written* at version 3.
 
 ``validate_run_report`` is the single source of truth for the schema;
 the CLI (``python -m repro report``), the smoke tests and the golden
@@ -43,8 +45,8 @@ import json
 from typing import Any, Dict, List, Optional
 
 RUN_REPORT_SCHEMA = "repro.run-report"
-RUN_REPORT_VERSION = 2
-RUN_REPORT_SUPPORTED_VERSIONS = (1, 2)
+RUN_REPORT_VERSION = 3
+RUN_REPORT_SUPPORTED_VERSIONS = (1, 2, 3)
 RUN_REPORT_KINDS = ("microbench", "stm", "app", "figure")
 
 _NUMBER = (int, float)
@@ -84,14 +86,16 @@ def build_run_report(
     results: Any,
     metrics: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
+    host: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble (and validate) a RunReport dict.
 
     ``config`` and ``results`` may be dataclasses or dicts; values are
     coerced to JSON-safe types.  ``metrics`` is a
     ``MetricsRegistry.to_dict()`` dump (empty sections if omitted);
-    ``profile`` is a ``ContentionProfiler.to_dict()`` section (omitted
-    from the report when None).
+    ``profile`` is a ``ContentionProfiler.to_dict()`` section and
+    ``host`` a ``HostProfiler.to_dict()`` section (each omitted from
+    the report when None).
     """
     report = {
         "schema": RUN_REPORT_SCHEMA,
@@ -105,6 +109,8 @@ def build_run_report(
     }
     if profile is not None:
         report["profile"] = profile
+    if host is not None:
+        report["host"] = host
     validate_run_report(report)
     return report
 
@@ -184,6 +190,17 @@ def validate_run_report(report: Any) -> None:
             except ProfileError as e:
                 err(f"profile: {e}")
 
+    host = report.get("host")
+    if host is not None:
+        if version in (1, 2):
+            err("'host' section requires version 3")
+        else:
+            from repro.obs.host import HostProfileError, validate_host_section
+            try:
+                validate_host_section(host)
+            except HostProfileError as e:
+                err(f"host: {e}")
+
     if errors:
         raise ReportValidationError(errors)
 
@@ -248,5 +265,17 @@ def summarize_run_report(report: Dict[str, Any], top: int = 12) -> str:
         lines.append(
             f"profile: {len(locks)} lock(s), {total} acquisitions "
             f"(see `repro profile` for the decomposition)"
+        )
+    host = report.get("host")
+    if host:
+        subs = host.get("subsystems") or {}
+        hot = sorted(subs.items(), key=lambda kv: -kv[1])[:3]
+        where = ", ".join(
+            f"{name} {100.0 * ns / host['total_ns']:.0f}%"
+            for name, ns in hot if host.get("total_ns")
+        )
+        lines.append(
+            f"host: {host.get('total_ns', 0) / 1e6:.1f} ms attributed"
+            + (f" ({where})" if where else "")
         )
     return "\n".join(lines)

@@ -52,6 +52,17 @@ class Simulator:
             random.Random(tiebreak_seed) if tiebreak_seed is not None else None
         )
         self._probes: List[Callable[[], None]] = []
+        # event-queue telemetry: plain integer bumps in at()/run() (a few
+        # adds per event next to heappush/heappop, well under timing noise;
+        # the engine overhead guard in tests/test_obs_host.py keeps it so).
+        # None of these feed back into the simulation — simulated time and
+        # event order are bit-identical whether anyone reads them or not.
+        self.queue_depth_peak: int = 0
+        self._queue_depth_sum: int = 0
+        self.signal_waits: int = 0
+        self.signal_cancels: int = 0
+        self.signal_fires: int = 0
+        self._host: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -65,6 +76,9 @@ class Simulator:
         key = self._seq if self._tiebreak is None else self._tiebreak.getrandbits(30)
         heapq.heappush(self._queue, (int(time), key, self._seq, fn))
         self._seq += 1
+        depth = len(self._queue)
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
 
     def after(self, delay: int, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
@@ -88,6 +102,8 @@ class Simulator:
         ``stop_when()`` becomes true (checked between events).  Returns the
         number of events processed by this call.
         """
+        if self._host is not None:
+            return self._run_profiled(until, max_events, stop_when)
         processed = 0
         while self._queue:
             if stop_when is not None and stop_when():
@@ -99,12 +115,63 @@ class Simulator:
                 self.now = until
                 break
             heapq.heappop(self._queue)
+            self._queue_depth_sum += len(self._queue)
             self.now = time
             fn()
             processed += 1
             if self._probes:
                 for probe in self._probes:
                     probe()
+        self._events_processed += processed
+        return processed
+
+    def _run_profiled(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> int:
+        """The :meth:`run` loop with host-time attribution.
+
+        Identical event semantics to the plain loop (same pops, same
+        clock updates, same probe ordering) — only host-clock reads are
+        interleaved.  Every nanosecond between loop entry and loop exit
+        is charged to exactly one bucket: the event handler's subsystem,
+        ``obs`` for invariant probes, or ``engine`` for the loop itself
+        (heap ops, bound checks), so the attribution sums to the total
+        by construction.
+        """
+        host = self._host
+        clock = host.clock
+        processed = 0
+        t_mark = clock()
+        while self._queue:
+            if stop_when is not None and stop_when():
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, _key, _seq, fn = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self._queue_depth_sum += len(self._queue)
+            self.now = time
+            t0 = clock()
+            fn()
+            t1 = clock()
+            processed += 1
+            if self._probes:
+                for probe in self._probes:
+                    probe()
+                t2 = clock()
+                host.charge("obs", t2 - t1)
+            else:
+                t2 = t1
+            host.charge("engine", t0 - t_mark)
+            host.charge_event(fn, t1 - t0)
+            t_mark = t2
+        host.charge("engine", clock() - t_mark)
         self._events_processed += processed
         return processed
 
@@ -115,6 +182,59 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    # ------------------------------------------------------------------ #
+    # engine telemetry (event-queue internals)
+
+    @property
+    def heap_pushes(self) -> int:
+        """Events ever pushed (== event-tuple allocations): ``at`` count."""
+        return self._seq
+
+    @property
+    def heap_pops(self) -> int:
+        """Events popped and dispatched across all :meth:`run` calls."""
+        return self._events_processed
+
+    @property
+    def queue_depth_mean(self) -> float:
+        """Mean queue depth observed at dispatch (post-pop)."""
+        if self._events_processed == 0:
+            return 0.0
+        return self._queue_depth_sum / self._events_processed
+
+    def engine_stats(self) -> Dict[str, float]:
+        """Event-queue internals as a flat dict (the ``engine`` block of
+        a bench-trajectory cell; also harvested into ``engine.*``
+        counters by :func:`repro.obs.instrument.harvest_machine_metrics`).
+        """
+        return {
+            "events_processed": self._events_processed,
+            "heap_pushes": self._seq,
+            "heap_pops": self._events_processed,
+            "queue_depth_peak": self.queue_depth_peak,
+            "queue_depth_mean": self.queue_depth_mean,
+            "pending_events": len(self._queue),
+            "signal_waits": self.signal_waits,
+            "signal_cancels": self.signal_cancels,
+            "signal_fires": self.signal_fires,
+        }
+
+    # ------------------------------------------------------------------ #
+    # host-time attribution
+
+    def attach_host_profiler(self, host: Any) -> None:
+        """Route :meth:`run` through the instrumented dispatch loop,
+        charging host nanoseconds to ``host`` (a
+        :class:`repro.obs.host.HostProfiler`).  With no profiler attached
+        the plain loop runs and the hot path pays nothing."""
+        if self._host is not None and self._host is not host:
+            raise SimulationError("a host profiler is already attached")
+        self._host = host
+
+    def detach_host_profiler(self) -> None:
+        """Return :meth:`run` to the uninstrumented loop.  Idempotent."""
+        self._host = None
 
     # ------------------------------------------------------------------ #
     # probes
@@ -157,11 +277,15 @@ class Signal:
         token = self._next_id
         self._next_id += 1
         self._waiters[token] = fn
+        self._sim.signal_waits += 1
         return token
 
     def cancel(self, token: int) -> bool:
         """Deregister a waiter; returns whether it was still registered."""
-        return self._waiters.pop(token, None) is not None
+        if self._waiters.pop(token, None) is None:
+            return False
+        self._sim.signal_cancels += 1
+        return True
 
     def fire(self, payload: Any = None) -> int:
         """Wake all current waiters *now* (same cycle). Returns the number
@@ -169,6 +293,7 @@ class Signal:
         woken by this call."""
         waiters = self._waiters
         self._waiters = {}
+        self._sim.signal_fires += 1
         for fn in waiters.values():
             fn(payload)
         return len(waiters)

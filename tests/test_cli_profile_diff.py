@@ -87,7 +87,7 @@ class TestProfileVerb:
             int(weight)
         validate_chrome_trace(json.loads(trace.read_text()))
         report = load_run_report(str(rep))
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert "profile" in report
         assert report["config"]["lock"] == "lcu"
 
@@ -186,12 +186,27 @@ class TestDiffVerb:
         assert code == 2
         assert "--threshold" in err
 
-    def test_v1_baseline_still_diffable(self, tmp_path):
-        # BENCH_telemetry.json is a version-1 report; the diff gate must
-        # keep accepting it as a baseline forever.
+    def test_trajectory_baseline_diffable(self, tmp_path):
+        # BENCH_telemetry.json is a bench trajectory whose latest record
+        # embeds a run report; the plain diff gate must keep accepting
+        # it as a baseline (it stands in for the embedded report).
         bench = pathlib.Path(__file__).resolve().parent.parent / \
             "BENCH_telemetry.json"
         code, out, _ = run_cli("diff", str(bench), str(bench),
+                               "--fail-on-regression")
+        assert code == 0
+        assert "unchanged" in out
+
+    def test_old_version_report_still_diffable(self, tmp_path):
+        # pre-v3 reports (no 'host' section) must stay accepted as diff
+        # baselines forever
+        rep = make_report(tmp_path, "a.json")
+        old = json.loads(rep.read_text())
+        old["version"] = 2
+        old.pop("host", None)
+        old_path = tmp_path / "old.json"
+        old_path.write_text(json.dumps(old))
+        code, out, _ = run_cli("diff", str(old_path), str(rep),
                                "--fail-on-regression")
         assert code == 0
         assert "unchanged" in out
