@@ -25,6 +25,10 @@ Commands:
   engine benchmark matrix best-of-N, attribute host time to
   subsystems, and append one record to the ``BENCH_engine.json``
   trajectory.
+* ``sweep``       — shard a microbench matrix (cells x seeds) across
+  worker processes and merge the per-shard telemetry into a single
+  RunReport, byte-identical to the serial run (``--verify-serial``
+  proves it).
 
 The benchmark commands accept ``--metrics-out FILE`` (machine-readable
 run report), ``--trace-out FILE`` (Chrome trace-event JSON, loadable in
@@ -595,6 +599,65 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.harness.bench import default_matrix
+    from repro.harness.parallel import (
+        default_workers, run_sweep, sweep_shards,
+    )
+    from repro.obs.report import write_run_report
+
+    known = sorted(all_algorithms())
+    locks = args.locks.split(",") if args.locks else None
+    for lock in locks or []:
+        if lock not in known:
+            print(f"unknown lock {lock!r} (known: {', '.join(known)})",
+                  file=sys.stderr)
+            return 2
+    models = args.models.split(",") if args.models else None
+    threads = ([int(x) for x in args.threads.split(",")]
+               if args.threads else None)
+    kwargs = {}
+    if locks:
+        kwargs["locks"] = locks
+    if models:
+        kwargs["models"] = models
+    if threads:
+        kwargs["threads"] = threads
+    specs = default_matrix(
+        write_pct=args.write_pct, iters=args.iters, **kwargs,
+    )
+    seeds = [int(x) for x in args.seeds.split(",")]
+    workers = args.workers if args.workers is not None else default_workers()
+    shards = sweep_shards(specs, seeds)
+    mode = "serial" if workers <= 1 else f"{min(workers, len(shards))} procs"
+    print(f"sweep: {len(specs)} cell(s) x {len(seeds)} seed(s) = "
+          f"{len(shards)} shard(s), {mode}")
+
+    def progress(payload) -> None:
+        r = payload["result"]
+        print(f"  {r['lock']:7s} model {r['model']} t={r['threads']} "
+              f"seed={payload['seed']}\t{r['cycles_per_cs']:.1f} cyc/CS "
+              f"({r['total_cs']} CS in {r['elapsed']} cycles)")
+
+    report = run_sweep(specs, seeds, workers=workers, progress=progress)
+    if args.verify_serial and workers >= 2:
+        serial = run_sweep(specs, seeds, workers=0)
+        a = json.dumps(report, sort_keys=True)
+        b = json.dumps(serial, sort_keys=True)
+        if a != b:
+            print("FAIL: parallel report differs from serial reference",
+                  file=sys.stderr)
+            return 1
+        print("verified: parallel report byte-identical to serial run")
+    if args.out:
+        write_run_report(args.out, report)
+        print(f"sweep report: {args.out}")
+    res = report["results"]
+    print(f"merged: {res['shard_count']} shard(s), "
+          f"{res['total_cs']} critical sections")
+    return 0
+
+
 def cmd_check(args) -> int:
     from repro.check.fuzz import fuzz, load_case, run_case, save_case, shrink
 
@@ -879,6 +942,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write merged host folded stacks "
                          "(flamegraph.pl/speedscope format) here")
     bn.set_defaults(fn=cmd_bench)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="run a microbench matrix sharded across worker processes "
+             "and merge the shards into one deterministic RunReport "
+             "(byte-identical to the serial run)",
+    )
+    sw.add_argument("--locks", default=None, metavar="CSV",
+                    help="comma-separated lock list "
+                         f"(default: {','.join(DEFAULT_LOCKS)})")
+    sw.add_argument("--models", default=None, metavar="CSV",
+                    help="comma-separated model list (default: A,B)")
+    sw.add_argument("--threads", default=None, metavar="CSV",
+                    help="comma-separated thread counts "
+                         f"(default: "
+                         f"{','.join(map(str, DEFAULT_THREADS))})")
+    sw.add_argument("--seeds", default="1", metavar="CSV",
+                    help="comma-separated seed list; every cell runs "
+                         "once per seed (default: 1)")
+    sw.add_argument("--write-pct", type=int, default=DEFAULT_WRITE_PCT)
+    sw.add_argument("--iters", type=int, default=DEFAULT_ITERS,
+                    help="lock/unlock iterations per thread")
+    sw.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker processes (default: core count; "
+                         "0 or 1 = serial in-process)")
+    sw.add_argument("--verify-serial", action="store_true",
+                    help="re-run the sweep serially and fail unless the "
+                         "merged reports are byte-identical (the CI "
+                         "smoke gate)")
+    sw.add_argument("--out", metavar="FILE", default=None,
+                    help="write the merged RunReport JSON here")
+    sw.set_defaults(fn=cmd_sweep)
 
     ck = sub.add_parser(
         "check",

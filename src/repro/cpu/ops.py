@@ -28,27 +28,32 @@ class Op:
 
     __slots__ = ()
 
+    #: synchronisation-relevant ops (lock instructions, atomics, waits)
+    #: carry True — the scheduler records them as "last lock op" for
+    #: deadlock diagnosis without an isinstance sweep per issued op
+    lock_op = False
 
-@dataclasses.dataclass(frozen=True)
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class Compute(Op):
     """Burn ``cycles`` of pure computation on the current core."""
     cycles: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Load(Op):
     """Coherent load; resumes with the loaded value."""
     addr: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Store(Op):
     """Coherent store of ``value``."""
     addr: int
     value: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Rmw(Op):
     """Atomic read-modify-write: applies ``fn(old) -> new``; resumes with
     the *old* value.  CAS/TAS/SWAP/F&A are all built from this."""
@@ -56,7 +61,7 @@ class Rmw(Op):
     fn: Callable[[int], int]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class WaitLine(Op):
     """Spin until this core's cached copy of ``addr``'s line is
     invalidated (zero traffic while waiting).  Interruptible.
@@ -76,18 +81,18 @@ class WaitLine(Op):
     timeout: Optional[int] = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class YieldCPU(Op):
     """Voluntarily end the timeslice (sched_yield)."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SleepFor(Op):
     """Release the core for ``cycles`` (OS sleep)."""
     cycles: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FutexWait(Op):
     """If the word at ``addr`` still equals ``expected``, release the core
     until a ``FutexWake`` on the same address.  Resumes with True if it
@@ -96,7 +101,7 @@ class FutexWait(Op):
     expected: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FutexWake(Op):
     """Wake up to ``count`` threads blocked in ``FutexWait`` on ``addr``."""
     addr: int
@@ -108,7 +113,7 @@ class FutexWake(Op):
 # prefetch).  The threadid is implicit — the executor passes the issuing
 # thread's tid, matching the paper's process-local software threadid.
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class LcuAcq(Op):
     """``acq(addr, threadid, mode)``: resumes with True iff acquired.
     ``priority`` marks a real-time request (future-work extension)."""
@@ -117,7 +122,7 @@ class LcuAcq(Op):
     priority: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class LcuRel(Op):
     """``rel(addr, threadid, mode)``: resumes with True iff the release
     was accepted (False means retry, e.g. no free LCU entry)."""
@@ -125,7 +130,7 @@ class LcuRel(Op):
     write: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class LcuEnq(Op):
     """Optional Enqueue prefetch primitive (paper footnote 1): joins the
     queue without acquiring.  Resumes with True if a request was issued or
@@ -134,7 +139,7 @@ class LcuEnq(Op):
     write: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class LcuWait(Op):
     """Spin on the local LCU entry for ``addr`` until its status changes
     (grant arrival etc.).  Resumes immediately if no entry exists here
@@ -143,7 +148,7 @@ class LcuWait(Op):
     timeout: Optional[int] = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RemoteRmw(Op):
     """Memory Atomic Operation (fetch-and-theta at the memory controller,
     SGI Origin / Cray T3E style): applies ``fn(old) -> new`` *at the home
@@ -158,15 +163,21 @@ class RemoteRmw(Op):
 # SSB baseline primitives: remote synchronization operations executed at
 # the home L2/controller (Zhu et al., ISCA'07).
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SsbAcq(Op):
     """Remote lock attempt at the home SSB; resumes with True/False."""
     addr: int
     write: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SsbRel(Op):
     """Remote lock release at the home SSB."""
     addr: int
     write: bool
+
+
+for _cls in (Rmw, WaitLine, FutexWait, FutexWake, LcuAcq, LcuRel, LcuEnq,
+             LcuWait, RemoteRmw, SsbAcq, SsbRel):
+    _cls.lock_op = True
+del _cls

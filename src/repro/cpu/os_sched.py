@@ -38,13 +38,38 @@ class DeadlockError(RuntimeError):
     stalls/faults points at the wedged protocol step directly."""
 
 
-#: op classes recorded as "last lock op" for deadlock diagnosis — the
-#: synchronisation-relevant subset (lock instructions, atomics, waits)
-_LOCK_OPS = (
-    ops.LcuAcq, ops.LcuRel, ops.LcuEnq, ops.LcuWait,
-    ops.SsbAcq, ops.SsbRel, ops.FutexWait, ops.FutexWake,
-    ops.Rmw, ops.RemoteRmw, ops.WaitLine,
-)
+class _Guard:
+    """Completion callback valid only for the current op issuance.
+
+    A slotted reusable stand-in for the closure pair the executor used
+    to allocate per op (a ``done`` closure plus a result-binding lambda
+    for every scheduled completion).  Creating the guard *issues* the op:
+    it bumps ``op_seq``, so any completion still in flight for the
+    previous issuance goes stale.  Invoked two ways, both matching the
+    old closure semantics exactly:
+
+    * by the engine with no argument (scheduled completions) — delivers
+      the preset ``result`` (the executor stores the op's outcome on the
+      guard before scheduling it);
+    * by a subsystem passing an explicit result (memory fills, SSB
+      replies, signal fires — the latter always fire ``None`` here).
+    """
+
+    __slots__ = ("os", "t", "seq", "epoch", "result")
+
+    def __init__(self, os: "OS", t: "SimThread") -> None:
+        t.op_seq = seq = t.op_seq + 1
+        self.os = os
+        self.t = t
+        self.seq = seq
+        self.epoch = t.epoch
+        self.result: Any = None
+
+    def __call__(self, result: Any = None) -> None:
+        t = self.t
+        if t.op_seq == self.seq and t.epoch == self.epoch \
+                and t.state == RUNNING:
+            self.os._op_done(t, self.result if result is None else result)
 
 
 class SimThread:
@@ -99,6 +124,7 @@ class OS:
         self.active = 0
         self._futex: Dict[int, Deque[SimThread]] = {}
         self._next_tid = 1
+        self._stop_on_idle = False
         # fault injection (repro.faults): cores stalled until a cycle
         self._stalled_until: Dict[int, int] = {}
         self.forced_preemptions = 0
@@ -127,7 +153,15 @@ class OS:
     def run_all(self, max_cycles: Optional[int] = None) -> int:
         """Run until every spawned thread finishes.  Returns the finish
         time.  Raises :class:`DeadlockError` on a stuck simulation."""
-        self.sim.run(until=max_cycles, stop_when=lambda: self.active == 0)
+        if self.active > 0:
+            # _finish requests an engine stop when the last thread
+            # completes — one flag check per event instead of a
+            # stop_when callable invoked 100k+ times per run.
+            self._stop_on_idle = True
+            try:
+                self.sim.run(until=max_cycles)
+            finally:
+                self._stop_on_idle = False
         if self.active > 0:
             pending = [t for t in self.threads if t.state != DONE]
             lines = [self._diagnose(t) for t in pending[:16]]
@@ -226,6 +260,8 @@ class OS:
         self._release_core(t)
         self.active -= 1
         self._dispatch()
+        if self.active == 0 and self._stop_on_idle:
+            self.sim.request_stop()
 
     # ------------------------------------------------------------------ #
     # fault-injection hooks (repro.faults)
@@ -331,151 +367,173 @@ class OS:
         else:
             self._advance(t, result)
 
-    def _guarded(self, t: SimThread) -> Callable[[Any], None]:
-        """Completion callback valid only for the current op issuance."""
-        t.op_seq += 1
-        seq = t.op_seq
-        epoch = t.epoch
-
-        def done(result: Any = None) -> None:
-            if t.op_seq == seq and t.epoch == epoch and t.state == RUNNING:
-                self._op_done(t, result)
-
-        return done
-
     # ------------------------------------------------------------------ #
     # op execution
+    #
+    # Dispatch is one dict lookup on the op's class (see _EXECUTORS at
+    # module bottom) instead of an isinstance chain — the chain walked
+    # ~10 classes per issued op and dominated scheduler host time.
+    # Every executor receives the freshly issued _Guard, whose creation
+    # bumped op_seq (the old ``done = self._guarded(t)`` prologue), so
+    # stale-completion semantics are unchanged for every op — including
+    # the ones that never invoke their guard (SleepFor, FutexWait sleep).
 
     def _execute(self, t: SimThread, op: ops.Op) -> None:
+        ex = _EXECUTORS.get(op.__class__)
+        if ex is None:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {op!r}")
+        assert t.core is not None
+        if op.lock_op:
+            t.last_lock_op = (op, self.sim.now)
+        ex(self, t, op, _Guard(self, t))
+
+    def _ex_compute(self, t, op, done) -> None:
+        c = op.cycles
+        self.sim.after(c if c > 1 else 1, done)
+
+    def _ex_load(self, t, op, done) -> None:
+        self.machine.mem.access(t.core, op.addr, READ, done)
+
+    def _ex_store(self, t, op, done) -> None:
+        self.machine.mem.access(t.core, op.addr, WRITE, done, value=op.value)
+
+    def _ex_rmw(self, t, op, done) -> None:
+        self.machine.mem.access(t.core, op.addr, RMW, done, rmw=op.fn)
+
+    def _ex_remote_rmw(self, t, op, done) -> None:
+        self.machine.mem.remote_rmw(t.core, op.addr, op.fn, done)
+
+    def _ex_wait_line(self, t, op, done) -> None:
         m = self.machine
-        sim = self.sim
-        done = self._guarded(t)
-        core = t.core
-        assert core is not None
-        if isinstance(op, _LOCK_OPS):
-            t.last_lock_op = (op, sim.now)
+        stale = (
+            op.expected is not None
+            and m.mem.peek(op.addr) != op.expected
+        )
+        if stale or not m.mem.has_line(t.core, op.addr):
+            self.sim.after(1, done)
+            return
+        sig = m.mem.line_signal(t.core, op.addr)
+        token = sig.wait(done)   # fires with payload None == done(None)
+        t.cancel_wait = lambda: sig.cancel(token)
+        if op.timeout is not None:
+            seq = t.op_seq
 
-        if isinstance(op, ops.Compute):
-            sim.after(max(1, op.cycles), done)
+            def waitline_timeout() -> None:
+                if t.op_seq == seq and t.state == RUNNING:
+                    if t.cancel_wait is not None:
+                        t.cancel_wait()
+                        t.cancel_wait = None
+                    self._op_done(t, None)
 
-        elif isinstance(op, ops.Load):
-            m.mem.access(core, op.addr, READ, done)
+            self.sim.after(op.timeout, waitline_timeout)
 
-        elif isinstance(op, ops.Store):
-            m.mem.access(core, op.addr, WRITE, done, value=op.value)
+    def _ex_yield(self, t, op, done) -> None:
+        if self.ready:
+            t.op_seq += 1
+            self._preempt(t, None)
+        else:
+            self.sim.after(1, done)
 
-        elif isinstance(op, ops.Rmw):
-            m.mem.access(core, op.addr, RMW, done, rmw=op.fn)
+    def _ex_sleep(self, t, op, done) -> None:
+        t.state = WAITING
+        self._release_core(t)
+        self._dispatch()
 
-        elif isinstance(op, ops.RemoteRmw):
-            m.mem.remote_rmw(core, op.addr, op.fn, done)
-
-        elif isinstance(op, ops.WaitLine):
-            stale = (
-                op.expected is not None
-                and m.mem.peek(op.addr) != op.expected
-            )
-            if stale or not m.mem.has_line(core, op.addr):
-                sim.after(1, done)
-            else:
-                sig = m.mem.line_signal(core, op.addr)
-                token = sig.wait(lambda _=None: done(None))
-                t.cancel_wait = lambda: sig.cancel(token)
-                if op.timeout is not None:
-                    seq = t.op_seq
-
-                    def waitline_timeout() -> None:
-                        if t.op_seq == seq and t.state == RUNNING:
-                            if t.cancel_wait is not None:
-                                t.cancel_wait()
-                                t.cancel_wait = None
-                            self._op_done(t, None)
-
-                    sim.after(op.timeout, waitline_timeout)
-
-        elif isinstance(op, ops.YieldCPU):
-            if self.ready:
-                t.op_seq += 1
-                self._preempt(t, None)
-            else:
-                sim.after(1, done)
-
-        elif isinstance(op, ops.SleepFor):
-            t.state = WAITING
-            self._release_core(t)
-            self._dispatch()
-
-            def wake() -> None:
-                if t.state == WAITING:
-                    t.state = READY
-                    t.resume_value = None
-                    self.ready.append(t)
-                    self._dispatch()
-
-            sim.after(max(1, op.cycles), wake)
-
-        elif isinstance(op, ops.FutexWait):
-            if m.mem.peek(op.addr) != op.expected:
-                sim.after(m.config.l1_latency, lambda: done(False))
-            else:
-                t.state = WAITING
-                t.resume_value = True
-                self._release_core(t)
-                self._futex.setdefault(op.addr, deque()).append(t)
+        def wake() -> None:
+            if t.state == WAITING:
+                t.state = READY
+                t.resume_value = None
+                self.ready.append(t)
                 self._dispatch()
 
-        elif isinstance(op, ops.FutexWake):
-            q = self._futex.get(op.addr)
-            woken = 0
-            while q and woken < op.count:
-                sleeper = q.popleft()
-                if sleeper.state == WAITING:
-                    sleeper.state = READY
-                    self.ready.append(sleeper)
-                    woken += 1
-            sim.after(1, lambda w=woken: done(w))
-            self.sim.after(0, self._dispatch)
+        self.sim.after(max(1, op.cycles), wake)
 
-        elif isinstance(op, ops.LcuAcq):
-            ok = m.lcus[core].instr_acquire(
-                t.tid, op.addr, op.write, priority=op.priority
-            )
-            sim.after(m.config.lcu_latency, lambda: done(ok))
+    def _ex_futex_wait(self, t, op, done) -> None:
+        m = self.machine
+        if m.mem.peek(op.addr) != op.expected:
+            done.result = False
+            self.sim.after(m.config.l1_latency, done)
+        else:
+            t.state = WAITING
+            t.resume_value = True
+            self._release_core(t)
+            self._futex.setdefault(op.addr, deque()).append(t)
+            self._dispatch()
 
-        elif isinstance(op, ops.LcuRel):
-            ok = m.lcus[core].instr_release(t.tid, op.addr, op.write)
-            sim.after(m.config.lcu_latency, lambda: done(ok))
+    def _ex_futex_wake(self, t, op, done) -> None:
+        q = self._futex.get(op.addr)
+        woken = 0
+        while q and woken < op.count:
+            sleeper = q.popleft()
+            if sleeper.state == WAITING:
+                sleeper.state = READY
+                self.ready.append(sleeper)
+                woken += 1
+        done.result = woken
+        self.sim.after(1, done)
+        self.sim.after(0, self._dispatch)
 
-        elif isinstance(op, ops.LcuEnq):
-            ok = m.lcus[core].instr_enqueue(t.tid, op.addr, op.write)
-            sim.after(m.config.lcu_latency, lambda: done(ok))
+    def _ex_lcu_acq(self, t, op, done) -> None:
+        m = self.machine
+        done.result = m.lcus[t.core].instr_acquire(
+            t.tid, op.addr, op.write, priority=op.priority
+        )
+        self.sim.after(m.config.lcu_latency, done)
 
-        elif isinstance(op, ops.LcuWait):
-            lcu = m.lcus[core]
-            if lcu.poll_ready(t.tid, op.addr):
-                # Grant already here / entry gone: re-check immediately.
-                sim.after(1, done)
-            else:
-                sig = lcu.entry_signal(t.tid, op.addr)
-                token = sig.wait(lambda _=None: done(None))
-                t.cancel_wait = lambda: sig.cancel(token)
-                if op.timeout is not None:
-                    seq = t.op_seq
+    def _ex_lcu_rel(self, t, op, done) -> None:
+        m = self.machine
+        done.result = m.lcus[t.core].instr_release(t.tid, op.addr, op.write)
+        self.sim.after(m.config.lcu_latency, done)
 
-                    def timeout_fire() -> None:
-                        if t.op_seq == seq and t.state == RUNNING:
-                            if t.cancel_wait is not None:
-                                t.cancel_wait()
-                                t.cancel_wait = None
-                            self._op_done(t, None)
+    def _ex_lcu_enq(self, t, op, done) -> None:
+        m = self.machine
+        done.result = m.lcus[t.core].instr_enqueue(t.tid, op.addr, op.write)
+        self.sim.after(m.config.lcu_latency, done)
 
-                    sim.after(op.timeout, timeout_fire)
+    def _ex_lcu_wait(self, t, op, done) -> None:
+        lcu = self.machine.lcus[t.core]
+        if lcu.poll_ready(t.tid, op.addr):
+            # Grant already here / entry gone: re-check immediately.
+            self.sim.after(1, done)
+            return
+        sig = lcu.entry_signal(t.tid, op.addr)
+        token = sig.wait(done)   # fires with payload None == done(None)
+        t.cancel_wait = lambda: sig.cancel(token)
+        if op.timeout is not None:
+            seq = t.op_seq
 
-        elif isinstance(op, ops.SsbAcq):
-            m.ssb.acquire(core, t.tid, op.addr, op.write, done)
+            def timeout_fire() -> None:
+                if t.op_seq == seq and t.state == RUNNING:
+                    if t.cancel_wait is not None:
+                        t.cancel_wait()
+                        t.cancel_wait = None
+                    self._op_done(t, None)
 
-        elif isinstance(op, ops.SsbRel):
-            m.ssb.release(core, t.tid, op.addr, op.write, done)
+            self.sim.after(op.timeout, timeout_fire)
 
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown op {op!r}")
+    def _ex_ssb_acq(self, t, op, done) -> None:
+        self.machine.ssb.acquire(t.core, t.tid, op.addr, op.write, done)
+
+    def _ex_ssb_rel(self, t, op, done) -> None:
+        self.machine.ssb.release(t.core, t.tid, op.addr, op.write, done)
+
+
+#: op class -> unbound executor method; one dict hit per issued op
+_EXECUTORS: Dict[type, Callable] = {
+    ops.Compute: OS._ex_compute,
+    ops.Load: OS._ex_load,
+    ops.Store: OS._ex_store,
+    ops.Rmw: OS._ex_rmw,
+    ops.RemoteRmw: OS._ex_remote_rmw,
+    ops.WaitLine: OS._ex_wait_line,
+    ops.YieldCPU: OS._ex_yield,
+    ops.SleepFor: OS._ex_sleep,
+    ops.FutexWait: OS._ex_futex_wait,
+    ops.FutexWake: OS._ex_futex_wake,
+    ops.LcuAcq: OS._ex_lcu_acq,
+    ops.LcuRel: OS._ex_lcu_rel,
+    ops.LcuEnq: OS._ex_lcu_enq,
+    ops.LcuWait: OS._ex_lcu_wait,
+    ops.SsbAcq: OS._ex_ssb_acq,
+    ops.SsbRel: OS._ex_ssb_rel,
+}

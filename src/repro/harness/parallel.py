@@ -1,0 +1,147 @@
+"""Multiprocess sweep runner: shard (cell, seed) microbench runs across
+cores, merge the results into one deterministic RunReport.
+
+Nemesis and check matrices are embarrassingly parallel — every
+(lock, model, threads, seed) shard is an independent simulation — but
+until now the harness ran them serially on one core.  ``repro sweep``
+fans the shards out over a ``multiprocessing`` pool and folds the
+per-shard telemetry back together through the exact-state merge path
+(:meth:`repro.obs.registry.MetricsRegistry.merge_state`, built on
+:meth:`repro.sim.stats.Histogram.merge` /
+:meth:`repro.sim.stats.Accumulator.merge`).
+
+Determinism contract (pinned by ``tests/test_determinism.py``): the
+merged RunReport is **byte-identical** whether the shards ran serially
+in-process, or across any number of worker processes.  Three rules make
+that hold:
+
+* every shard is fully self-contained (fresh ``Machine``, fresh
+  ``MetricsRegistry``, seed passed explicitly) and returns plain data;
+* shard payloads are merged in *spec order*, never completion order
+  (``Pool.map`` preserves input order; the serial path iterates the
+  same list);
+* the artifact carries nothing volatile — no wall-clock timestamps, no
+  worker count, no host identifiers.  Worker count changes wall time,
+  never bytes.
+
+Workers use the ``spawn`` start method so child processes import a
+clean interpreter (fork would duplicate the parent's loaded simulator
+state and is unavailable on some platforms anyway).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.harness.bench import BenchCellSpec, _config
+from repro.harness.microbench import run_microbench
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import build_run_report
+
+#: the CI smoke matrix: two cells, one seed — small enough to finish in
+#: seconds, large enough to exercise the shard/merge path end to end.
+SMOKE_CELLS = (("lcu", "A", 4), ("mcs", "B", 4))
+
+
+def sweep_shards(
+    specs: Iterable[BenchCellSpec], seeds: Iterable[int]
+) -> List[Tuple[BenchCellSpec, int]]:
+    """The shard list: every spec × every seed, in deterministic order
+    (specs outer, seeds inner).  This order is the merge order."""
+    seeds = list(seeds)
+    return [(spec, seed) for spec in specs for seed in seeds]
+
+
+def _run_shard(shard: Tuple[BenchCellSpec, int]) -> Dict[str, Any]:
+    """Run one (cell, seed) shard in full isolation and return plain
+    data: the microbench result fields plus an exact-state registry
+    dump.  Module-level (and argument-picklable) so ``Pool.map`` can
+    ship it to spawn-started workers."""
+    spec, seed = shard
+    registry = MetricsRegistry()
+    result = run_microbench(
+        _config(spec.model), spec.lock, spec.threads, spec.write_pct,
+        iters_per_thread=spec.iters, seed=seed, registry=registry,
+    )
+    return {
+        "spec": dataclasses.asdict(spec),
+        "seed": seed,
+        "result": dataclasses.asdict(result),
+        "metrics_state": registry.to_state(),
+    }
+
+
+def merge_shards(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold shard payloads (already in spec order) into one RunReport
+    dict of kind ``sweep``.  Pure function of the payload list — the
+    serial/parallel byte-equality guarantee reduces to "the payloads
+    are equal", which holds because each shard is a deterministic
+    simulation."""
+    merged = MetricsRegistry()
+    cells: List[Dict[str, Any]] = []
+    total_cs = 0
+    elapsed_sum = 0
+    for p in payloads:
+        merged.merge_state(p["metrics_state"])
+        r = p["result"]
+        total_cs += r["total_cs"]
+        elapsed_sum += r["elapsed"]
+        cells.append({
+            "spec": p["spec"],
+            "seed": p["seed"],
+            "result": r,
+        })
+    return build_run_report(
+        kind="sweep",
+        config={
+            "shards": [
+                {"spec": c["spec"], "seed": c["seed"]} for c in cells
+            ],
+        },
+        results={
+            "cells": cells,
+            "shard_count": len(cells),
+            "total_cs": total_cs,
+            "elapsed_cycles_sum": elapsed_sum,
+        },
+        metrics=merged.to_dict(),
+    )
+
+
+def run_sweep(
+    specs: Iterable[BenchCellSpec],
+    seeds: Iterable[int] = (1,),
+    workers: int = 0,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the full sweep and return the merged RunReport dict.
+
+    ``workers <= 1`` runs every shard serially in-process (the reference
+    path); ``workers >= 2`` shards across a spawn-context pool.  Both
+    paths produce byte-identical reports.  ``progress``, if given, is
+    called with each shard payload as it is merged (spec order).
+    """
+    shards = sweep_shards(specs, seeds)
+    if not shards:
+        raise ValueError("sweep needs at least one (cell, seed) shard")
+    if workers >= 2:
+        ctx = multiprocessing.get_context("spawn")
+        nproc = min(workers, len(shards))
+        with ctx.Pool(processes=nproc) as pool:
+            payloads = pool.map(_run_shard, shards)
+    else:
+        payloads = [_run_shard(s) for s in shards]
+    if progress is not None:
+        for p in payloads:
+            progress(p)
+    return merge_shards(payloads)
+
+
+def default_workers() -> int:
+    """Worker-pool size when the CLI is told to auto-pick: the core
+    count, floored at 2 (1 would silently fall back to the serial
+    path)."""
+    return max(2, os.cpu_count() or 2)

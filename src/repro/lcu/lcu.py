@@ -507,32 +507,10 @@ class LockControlUnit:
     # message handling
 
     def on_message(self, _src: Endpoint, m: object) -> None:
-        if isinstance(m, msg.Grant):
-            self._on_grant(m)
-        elif isinstance(m, msg.FwdRequest):
-            self._on_fwd(m)
-        elif isinstance(m, msg.WaitMsg):
-            self._on_wait(m)
-        elif isinstance(m, msg.Retry):
-            self._on_retry(m)
-        elif isinstance(m, msg.ReleaseAck):
-            self._on_release_ack(m)
-        elif isinstance(m, msg.ReleaseRetry):
-            self._on_release_retry(m)
-        elif isinstance(m, msg.Dealloc):
-            self._on_dealloc(m)
-        elif isinstance(m, msg.OvfClear):
-            self._on_ovf_clear(m)
-        elif isinstance(m, msg.RemoteRelease):
-            self._on_remote_release(m)
-        elif isinstance(m, msg.RemoteReleaseAck):
-            self._on_remote_release_ack(m)
-        elif isinstance(m, msg.QueueReset):
-            self._on_queue_reset(m)
-        elif isinstance(m, msg.QueueProbe):
-            self._on_queue_probe(m)
-        else:
+        h = _LCU_HANDLERS.get(m.__class__)
+        if h is None:
             raise ProtocolError(f"LCU{self.lcu_id}: unexpected message {m!r}")
+        getattr(self, h)(m)
 
     # -- grants ---------------------------------------------------------- #
 
@@ -955,3 +933,25 @@ class LockControlUnit:
             )
         )
         self._send_lrt(m.addr, msg.QueueProbeAck(m.addr, m.tid, alive))
+
+
+# Message dispatch table: class-keyed lookup replaces the 12-branch
+# isinstance chain on the hottest protocol path (one dict probe + one
+# attribute fetch per delivered message).  Exact-class keying is safe —
+# LCU messages are final dataclasses, never subclassed.  Values are
+# method *names*, resolved per call, so tests and fault harnesses can
+# still monkeypatch individual handlers.
+_LCU_HANDLERS: dict = {
+    msg.Grant: "_on_grant",
+    msg.FwdRequest: "_on_fwd",
+    msg.WaitMsg: "_on_wait",
+    msg.Retry: "_on_retry",
+    msg.ReleaseAck: "_on_release_ack",
+    msg.ReleaseRetry: "_on_release_retry",
+    msg.Dealloc: "_on_dealloc",
+    msg.OvfClear: "_on_ovf_clear",
+    msg.RemoteRelease: "_on_remote_release",
+    msg.RemoteReleaseAck: "_on_remote_release_ack",
+    msg.QueueReset: "_on_queue_reset",
+    msg.QueueProbe: "_on_queue_probe",
+}

@@ -28,7 +28,7 @@ class Who(NamedTuple):
     write: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Request:
     """LCU -> LRT: thread asks for the lock (paper's REQUEST).
 
@@ -43,7 +43,7 @@ class Request:
     priority: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FwdRequest:
     """LRT -> tail LCU: enqueue ``req`` behind the current tail.
 
@@ -61,7 +61,7 @@ class FwdRequest:
     confirm_required: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class FwdNack:
     """tail LCU -> LRT: could not re-allocate an entry for the forwarded
     request (LCU full); the LRT retries after a backoff."""
@@ -69,14 +69,14 @@ class FwdNack:
     original: FwdRequest
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class WaitMsg:
     """tail LCU -> requestor LCU: you are enqueued (paper's WAIT)."""
     addr: int
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Grant:
     """Lock grant (paper's GRANT).
 
@@ -99,7 +99,7 @@ class Grant:
     confirm_required: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Retry:
     """LRT -> LCU: request rejected (nonblocking entry and lock taken, or
     a reservation holder has priority).  The entry is deallocated and the
@@ -108,7 +108,7 @@ class Retry:
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ReleaseMsg:
     """LCU -> LRT: release of an uncontended lock, an overflow-mode read
     grant, or a migrated thread's lock (paper's RELEASE)."""
@@ -117,14 +117,14 @@ class ReleaseMsg:
     overflow: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ReleaseAck:
     """LRT -> LCU: release processed; deallocate the REL entry."""
     addr: int
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ReleaseRetry:
     """LRT -> LCU: a requestor was already enqueued behind you (release /
     enqueue race) — keep the REL entry and hand the lock to the forwarded
@@ -134,7 +134,7 @@ class ReleaseRetry:
     gen: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class HeadNotify:
     """new head LCU -> LRT: the Head token moved here (paper Figure 5).
     The LRT replies with ``Dealloc`` to the previous head so its REL entry
@@ -144,14 +144,14 @@ class HeadNotify:
     gen: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Dealloc:
     """LRT -> LCU: head pointer updated; drop your REL entry."""
     addr: int
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class OvfCheck:
     """granted writer LCU -> LRT: may I take the lock, or are overflow
     readers still holding it?"""
@@ -160,14 +160,14 @@ class OvfCheck:
     lcu: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class OvfClear:
     """LRT -> writer LCU: all overflow readers drained; write away."""
     addr: int
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RemoteRelease:
     """LRT -> LCU (and LCU -> LCU along the queue): a migrated thread
     released from a foreign LCU; find the queue node owned by
@@ -182,14 +182,14 @@ class RemoteRelease:
     hops: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RemoteReleaseAck:
     """owner LCU -> origin LCU: remote release performed; drop REL entry."""
     addr: int
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RemoteReleaseNack:
     """LCU -> LRT: queue walk for a migrated release failed (node gone /
     chain broken by a race); the LRT retries or resolves it."""
@@ -204,7 +204,7 @@ class RemoteReleaseNack:
 # hardened-mode recovery messages (fault tolerance; see repro.faults)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class GrantNack:
     """LCU -> LRT (hardened mode): a Grant arrived for an entry that no
     longer exists — the queue node was lost (forced eviction, resource
@@ -217,7 +217,7 @@ class GrantNack:
     head: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueueProbe:
     """LRT -> head LCU (hardened mode): the queue for ``addr`` has been
     silent for longer than the orphan threshold; is the head node still
@@ -226,7 +226,7 @@ class QueueProbe:
     tid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueueProbeAck:
     """head LCU -> LRT: answer to a :class:`QueueProbe`."""
     addr: int
@@ -234,7 +234,7 @@ class QueueProbeAck:
     alive: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueueReset:
     """LRT -> every LCU (hardened mode, broadcast): the queue for
     ``addr`` was found orphaned (dead head, unreachable successors) and
@@ -246,7 +246,7 @@ class QueueReset:
     gen: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueueResetAck:
     """LCU -> LRT: reply to a :class:`QueueReset` broadcast.  ``readers``
     is the number of live read holders this LCU converted to

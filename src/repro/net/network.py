@@ -14,17 +14,30 @@ machine config:
   that busy-wait with *remote* messages (the SSB's retry loop) saturate
   them — the effect behind the paper's Figure 9b.
 
+Mechanically, each message rides one slotted :class:`_Transit` frame
+object through the fabric.  The sequence of servers a (src, dst) pair
+occupies — and the service cycles each charges — never changes, so it is
+resolved once into a cached *route* (a tuple of ``(server, service)``
+hops plus the propagation delay); the transit frame then walks the route
+by re-scheduling itself at each hop completion.  Drained frames are
+recycled through a free list.  This replaces the closure-per-hop
+dispatch the hub previously allocated per message (~5 closures/message)
+with zero per-message allocations in the steady state, while keeping the
+event schedule bit-identical: same ``Server.request`` calls at the same
+cycles in the same order.
+
 Messages between a fixed (src, dst) pair are delivered FIFO — this is the
 network ordering assumption the LCU/LRT state machines rely on (the paper
-notes transient states would otherwise be needed).  The guarantee is
-*enforced*, not emergent: every message is stamped with a per-(src, dst)
-sequence number when it enters the fabric, and the delivery stage holds
-back any arrival that would overtake a lower-stamped one.  Without the
-stage, a perturbed event tie-break (``tiebreak_seed``) could invert two
-same-cycle arrivals on one pair — e.g. a pair of one-cycle self-sends —
-and break the protocol in ways no real fabric can.  With the default
-stable tie-break the stage is a pure pass-through (same cycles, same
-order), so baseline results are unchanged.
+notes transient states would otherwise be needed).  Under the default
+*stable* event order (``Simulator.stable_order``) the guarantee holds by
+construction: FIFO servers, constant per-pair propagation and FIFO
+same-cycle event dispatch cannot reorder a pair's messages, so the wire
+delivers directly.  Under a perturbed ``tiebreak_seed`` two same-cycle
+arrivals on one pair *can* invert — e.g. a pair of one-cycle self-sends —
+so there the guarantee is *enforced*: every message is stamped with a
+per-(src, dst) sequence number at fabric entry and the delivery stage
+holds back any arrival that would overtake a lower-stamped one (same
+cycles, same healed order as the stable schedule).
 
 Fault injection (``repro.faults``) plugs in at two points, both inert
 when unused:
@@ -52,6 +65,51 @@ Endpoint = Tuple[str, int]
 #: fault filter: (src, dst, payload) -> iterable of (extra_delay, payload)
 #: copies to transmit.  Empty iterable == message dropped on the wire.
 FaultFilter = Callable[[Endpoint, Endpoint, Any], Iterable[Tuple[int, Any]]]
+
+#: a resolved route: ((server, service) hops, propagation delay,
+#: crosses-a-chip-boundary flag)
+Route = Tuple[Tuple[Tuple[Server, int], ...], int, bool]
+
+
+class _Transit:
+    """One in-flight message: a slotted, reusable event frame.
+
+    The frame is its own event callback: each invocation advances one
+    phase — occupy the next route hop, then wait out the propagation
+    delay, then hand off to delivery.  ``hop`` counts phases: values
+    ``0..len(hops)-1`` are server hops, ``len(hops)`` is propagation,
+    beyond that is delivery.
+    """
+
+    __slots__ = (
+        "net", "src", "dst", "payload", "on_deliver", "hops", "prop",
+        "hop", "stamp",
+    )
+
+    def __init__(self, net: "Network") -> None:
+        self.net = net
+        self.src: Any = None
+        self.dst: Any = None
+        self.payload: Any = None
+        self.on_deliver: Optional[Callable[[], None]] = None
+        self.hops: Tuple[Tuple[Server, int], ...] = ()
+        self.prop = 0
+        self.hop = 0
+        self.stamp = 0
+
+    def __call__(self) -> None:
+        hop = self.hop
+        hops = self.hops
+        if hop < len(hops):
+            self.hop = hop + 1
+            server, service = hops[hop]
+            server.request(service, self)
+            return
+        if hop == len(hops):
+            self.hop = hop + 1
+            self.net._sim.after(self.prop, self)
+            return
+        self.net._finish(self)
 
 
 class Network:
@@ -98,12 +156,18 @@ class Network:
         # reliable-delivery layer (repro.net.reliable); None == raw wire
         self._reliable = None
 
-        # Per-(src, dst) FIFO enforcement: fabric-entry stamps, the next
-        # stamp each pair expects to deliver, and held-back arrivals.
+        # Resolved (src, dst) -> Route cache and the transit free list.
+        self._routes: Dict[Tuple[Endpoint, Endpoint], Route] = {}
+        self._transit_pool: list = []
+
+        # Per-(src, dst) FIFO enforcement (tiebreak runs only — see
+        # module docstring): fabric-entry stamps, the next stamp each
+        # pair expects to deliver, and held-back arrivals.
+        self._fifo_enforced = not sim.stable_order
         self._pair_stamp: Dict[Tuple[Endpoint, Endpoint], int] = {}
         self._pair_expect: Dict[Tuple[Endpoint, Endpoint], int] = {}
         self._pair_stash: Dict[
-            Tuple[Endpoint, Endpoint], Dict[int, Callable[[], None]]
+            Tuple[Endpoint, Endpoint], Dict[int, "_Transit"]
         ] = {}
 
     # ------------------------------------------------------------------ #
@@ -116,6 +180,9 @@ class Network:
             raise ValueError(f"endpoint {endpoint} already registered")
         self._handlers[endpoint] = handler
         self._access[endpoint] = Server(self._sim, f"acc{endpoint}")
+        # a late registration grows the fabric: resolved routes that
+        # predate this endpoint's access link are stale
+        self._routes.clear()
 
     def is_registered(self, endpoint: Endpoint) -> bool:
         return endpoint in self._handlers
@@ -134,8 +201,6 @@ class Network:
         """Uncongested one-way latency between two endpoints."""
         if src == dst:
             return 1
-        if self._chip_of(src) == self._chip_of(dst) and not self._config.global_order:
-            return self._config.intra_chip_hop
         if self._chip_of(src) == self._chip_of(dst):
             return self._config.intra_chip_hop
         return self._config.inter_chip_hop
@@ -185,17 +250,18 @@ class Network:
             )
 
         if self.fault_filter is not None and src != dst:
-            copies = list(self.fault_filter(src, dst, payload))
-        else:
-            copies = [(0, payload)]
-        for extra_delay, copy in copies:
-            if extra_delay > 0:
-                self._sim.after(
-                    extra_delay,
-                    lambda c=copy: self._transmit(src, dst, c, on_deliver),
-                )
-            else:
-                self._transmit(src, dst, copy, on_deliver)
+            for extra_delay, copy in list(
+                self.fault_filter(src, dst, payload)
+            ):
+                if extra_delay > 0:
+                    self._sim.after(
+                        extra_delay,
+                        lambda c=copy: self._transmit(src, dst, c, on_deliver),
+                    )
+                else:
+                    self._transmit(src, dst, copy, on_deliver)
+            return
+        self._transmit(src, dst, payload, on_deliver)
 
     def _transmit(
         self,
@@ -204,57 +270,79 @@ class Network:
         payload: Any,
         on_deliver: Optional[Callable[[], None]],
     ) -> None:
-        """Carry ``payload`` through the fabric.  The per-pair FIFO stamp
-        is assigned *here* — after any fault-injected delay — so delayed
-        copies are genuinely reordered rather than holding back the pair."""
-        pair = (src, dst)
-        stamp = self._pair_stamp.get(pair, 0)
-        self._pair_stamp[pair] = stamp + 1
-
-        def deliver() -> None:
-            self._arrive(pair, stamp, payload, on_deliver)
-
-        if src == dst:
-            self._sim.after(1, deliver)
-            return
-
-        cfg = self._config
-        same_chip = self._chip_of(src) == self._chip_of(dst)
-        prop = self.latency_estimate(src, dst)
-
-        # Chain of servers the message occupies, in order.
-        chain = [self._access.get(src)]
-        if cfg.global_order:
-            chain.append(self._root)
-        elif same_chip:
-            chain.append(self._crossbars[self._chip_of(src)])
-        else:
+        """Carry ``payload`` through the fabric on a transit frame.  The
+        per-pair FIFO stamp (tiebreak runs) is assigned *here* — after
+        any fault-injected delay — so delayed copies are genuinely
+        reordered rather than holding back the pair."""
+        route = self._routes.get((src, dst))
+        if route is None:
+            route = self._resolve_route(src, dst)
+        hops, prop, inter = route
+        if inter:
             self.inter_chip_messages += 1
-            chain.append(self._crossbars[self._chip_of(src)])
-            chain.append(self._hub_out[self._chip_of(src)])
-            chain.append(self._hub_in[self._chip_of(dst)])
-        chain.append(self._access.get(dst))
-        servers = [s for s in chain if s is not None]
 
-        def step(i: int) -> None:
-            if i == len(servers):
-                self._sim.after(prop, deliver)
-                return
-            server = servers[i]
-            service = cfg.link_service
-            if server.name.startswith("hub"):
-                service = cfg.inter_chip_link_service
-            server.request(service, lambda: step(i + 1))
+        pool = self._transit_pool
+        tr = pool.pop() if pool else _Transit(self)
+        tr.src = src
+        tr.dst = dst
+        tr.payload = payload
+        tr.on_deliver = on_deliver
+        tr.hops = hops
+        tr.prop = prop
+        tr.hop = 0
+        if self._fifo_enforced:
+            pair = (src, dst)
+            stamp = self._pair_stamp.get(pair, 0)
+            self._pair_stamp[pair] = stamp + 1
+            tr.stamp = stamp
+        tr()
 
-        step(0)
+    def _resolve_route(self, src: Endpoint, dst: Endpoint) -> Route:
+        """Build and cache the (src, dst) route: the server chain the
+        message occupies in order, each with its service time, plus the
+        propagation delay added after the last hop."""
+        cfg = self._config
+        if src == dst:
+            route: Route = ((), 1, False)
+        else:
+            same_chip = self._chip_of(src) == self._chip_of(dst)
+            hops = []
+            acc = self._access.get(src)
+            if acc is not None:
+                hops.append((acc, cfg.link_service))
+            if cfg.global_order:
+                hops.append((self._root, cfg.link_service))
+            elif same_chip:
+                hops.append((self._crossbars[self._chip_of(src)],
+                             cfg.link_service))
+            else:
+                hops.append((self._crossbars[self._chip_of(src)],
+                             cfg.link_service))
+                hops.append((self._hub_out[self._chip_of(src)],
+                             cfg.inter_chip_link_service))
+                hops.append((self._hub_in[self._chip_of(dst)],
+                             cfg.inter_chip_link_service))
+            acc = self._access.get(dst)
+            if acc is not None:
+                hops.append((acc, cfg.link_service))
+            prop = (cfg.intra_chip_hop if same_chip else cfg.inter_chip_hop)
+            # the inter-chip counter only ticks for hub traffic (model B);
+            # model A's root path is a latency effect, not hub occupancy
+            route = (tuple(hops), prop,
+                     not same_chip and not cfg.global_order)
+        self._routes[(src, dst)] = route
+        return route
 
-    def _arrive(
-        self,
-        pair: Tuple[Endpoint, Endpoint],
-        stamp: int,
-        payload: Any,
-        on_deliver: Optional[Callable[[], None]],
-    ) -> None:
+    def _finish(self, tr: "_Transit") -> None:
+        """A transit frame cleared its last hop and the propagation
+        delay: hand off to delivery (directly, or via the FIFO stage on
+        tiebreak runs)."""
+        if self._fifo_enforced:
+            self._arrive(tr)
+            return
+        self._deliver(tr)
+
+    def _arrive(self, tr: "_Transit") -> None:
         """Per-pair FIFO stage: deliver in fabric-entry order.
 
         Messages on one pair reach here with non-decreasing arrival
@@ -263,32 +351,36 @@ class Network:
         is already queued at this very cycle and the stash drains before
         the clock advances.
         """
+        pair = (tr.src, tr.dst)
         expect = self._pair_expect.get(pair, 0)
-        if stamp != expect:
+        if tr.stamp != expect:
             self.reorders_healed += 1
-            self._pair_stash.setdefault(pair, {})[stamp] = (
-                lambda: self._deliver(pair, payload, on_deliver)
-            )
+            self._pair_stash.setdefault(pair, {})[tr.stamp] = tr
             return
-        self._deliver(pair, payload, on_deliver)
+        self._deliver(tr)
         expect += 1
         stash = self._pair_stash.get(pair)
         if stash:
             while expect in stash:
-                fn = stash.pop(expect)
+                nxt = stash.pop(expect)
                 expect += 1
-                # update before running: the callback may send again
+                # update before delivering: the handler may send again
                 self._pair_expect[pair] = expect
-                fn()
+                self._deliver(nxt)
         self._pair_expect[pair] = expect
 
-    def _deliver(
-        self,
-        pair: Tuple[Endpoint, Endpoint],
-        payload: Any,
-        on_deliver: Optional[Callable[[], None]],
-    ) -> None:
-        src, dst = pair
+    def _deliver(self, tr: "_Transit") -> None:
+        src = tr.src
+        dst = tr.dst
+        payload = tr.payload
+        on_deliver = tr.on_deliver
+        # The frame is fully consumed: clear its references and recycle
+        # it *before* running the handler, which may send again.
+        tr.src = tr.dst = tr.payload = None
+        tr.on_deliver = None
+        tr.hops = ()
+        if len(self._transit_pool) < 64:
+            self._transit_pool.append(tr)
         if self._reliable is not None and self._reliable.intercepts(payload):
             self._reliable.on_wire(src, dst, payload)
             return

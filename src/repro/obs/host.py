@@ -154,20 +154,45 @@ class HostProfiler:
 
     def charge_event(self, fn: Callable[[], None], ns: int) -> None:
         """Charge ``ns`` to the subsystem and handler that ``fn``
-        belongs to (classified once per code object)."""
+        belongs to.
+
+        Classification is cached: per code object for plain functions
+        and closures, per (code, owner class) for bound methods — the
+        slotted-dispatch rework schedules bound methods and callable
+        objects where closures used to be, and a bound method's
+        *function* can live in a different module than the object it is
+        bound to (mixins, monkeypatched handlers), so when the function
+        module classifies ``other`` the owner's class module decides.
+        Builtin bound methods (``deque.popleft`` and friends) have no
+        ``__code__`` at all and classify purely by owner class.
+        """
+        owner = getattr(fn, "__self__", None)
         func = getattr(fn, "__func__", fn)
         code = getattr(func, "__code__", None)
-        key = code if code is not None else type(fn)
+        if code is not None:
+            key = code if owner is None else (code, type(owner))
+        elif owner is not None:  # builtin bound method
+            key = (type(owner), getattr(fn, "__name__", ""))
+        else:  # callable object
+            key = type(fn)
         ent = self._cache.get(key)
         if ent is None:
             if code is not None:
                 module = getattr(func, "__module__", None)
                 qual = getattr(func, "__qualname__", repr(fn))
+                sub = classify_module(module)
+                if sub == "other" and owner is not None:
+                    sub = classify_module(type(owner).__module__)
+            elif owner is not None:
+                cls = type(owner)
+                qual = (cls.__qualname__ + "."
+                        + (getattr(fn, "__name__", None) or "?"))
+                sub = classify_module(cls.__module__)
             else:  # callable object: classify by its class
                 cls = type(fn)
-                module = cls.__module__
                 qual = cls.__qualname__ + ".__call__"
-            ent = self._cache[key] = (classify_module(module), qual)
+                sub = classify_module(cls.__module__)
+            ent = self._cache[key] = (sub, qual)
         subsystem, qual = ent
         if ns < 0:
             return

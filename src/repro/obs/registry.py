@@ -267,3 +267,50 @@ class MetricsRegistry:
                 for name, pts in sorted(self.series.items())
             },
         }
+
+    # ------------------------------------------------------------------ #
+    # cross-process state transfer (the sweep runner's merge path)
+
+    def to_state(self) -> Dict[str, Any]:
+        """Exact, mergeable registry state (full float precision).
+
+        Unlike :meth:`to_dict` — which emits lossy histogram *summaries*
+        for reports — this dump carries raw buckets and accumulator
+        moments, so a parent process can fold many shard registries
+        together with :meth:`merge_state` and only then summarize.
+        Gauges are instantaneous point-in-time reads with no meaningful
+        cross-run combination, so they are deliberately excluded; series
+        (already (time, value) logs) transfer verbatim.
+        """
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.to_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+            "series": {
+                name: [[t, v] for t, v in pts]
+                for name, pts in sorted(self.series.items())
+            },
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`to_state` dump into this registry: counters add,
+        histograms merge bucket-exactly (same-width check included),
+        series concatenate in call order.  Deterministic: merging shard
+        states in a fixed order always yields the same registry, which
+        is what makes the parallel sweep byte-identical to the serial
+        one.  Returns ``self``."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, h in state.get("histograms", {}).items():
+            self.histogram(
+                name, bucket_width=h["bucket_width"]
+            ).merge(Histogram.from_dict(h))
+        for name, pts in state.get("series", {}).items():
+            self.series.setdefault(name, []).extend(
+                (t, v) for t, v in pts
+            )
+        return self

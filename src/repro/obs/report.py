@@ -1,7 +1,7 @@
 """Machine-readable run reports (the ``RunReport`` JSON schema).
 
-Every harness entry point (``microbench``, ``stm``, ``app``, ``figure``)
-can emit one RunReport: a single JSON object capturing what ran (kind +
+Every harness entry point (``microbench``, ``stm``, ``app``, ``figure``,
+``sweep``) can emit one RunReport: a single JSON object capturing what ran (kind +
 config), what came out (results: the harness result dataclass, plus
 fairness indices and latency percentiles where applicable), and what the
 telemetry layer measured (the :class:`~repro.obs.registry.MetricsRegistry`
@@ -14,7 +14,7 @@ Top-level shape (version 3)::
     {
       "schema": "repro.run-report",
       "version": 3,
-      "kind": "microbench" | "stm" | "app" | "figure",
+      "kind": "microbench" | "stm" | "app" | "figure" | "sweep",
       "config": {...},          # machine model + harness parameters
       "results": {...},         # harness result fields, JSON-safe
       "metrics": {              # MetricsRegistry.to_dict() (may be empty)
@@ -47,7 +47,7 @@ from typing import Any, Dict, List, Optional
 RUN_REPORT_SCHEMA = "repro.run-report"
 RUN_REPORT_VERSION = 3
 RUN_REPORT_SUPPORTED_VERSIONS = (1, 2, 3)
-RUN_REPORT_KINDS = ("microbench", "stm", "app", "figure")
+RUN_REPORT_KINDS = ("microbench", "stm", "app", "figure", "sweep")
 
 _NUMBER = (int, float)
 

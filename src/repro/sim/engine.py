@@ -2,13 +2,30 @@
 
 The whole reproduction runs on this small deterministic event kernel.
 Time is measured in integer *cycles*.  Events scheduled for the same cycle
-fire in schedule order (a monotonic sequence number breaks ties), which
-makes every simulation run bit-reproducible for a given seed.
+fire in schedule order (FIFO within a cycle), which makes every simulation
+run bit-reproducible for a given seed.
 
-The three building blocks are:
+The building blocks are:
 
 ``Simulator``
     The event queue and clock.
+
+``CalendarQueue``
+    The default event store: a calendar/bucketed queue keyed by exact
+    cycle.  Events for one cycle live in one FIFO bucket list; a small
+    integer min-heap of *distinct armed cycles* finds the next non-empty
+    bucket, so advancing the clock across a run of empty cycles is one
+    heap pop instead of per-cycle work.  Drained bucket lists are
+    recycled through a preallocated free pool.  See DESIGN.md "Event
+    queue internals" for the bucket math and lifecycle.
+
+``ReferenceScheduler``
+    The pre-calendar event store: a single heapq of ``(time, key, seq,
+    fn)`` tuples.  It is kept for two jobs — it is the oracle the
+    differential tests (tests/test_engine_equiv.py) compare the calendar
+    queue against, and it is the only store that supports *perturbed*
+    same-cycle ordering (``tiebreak_seed``), which the schedule fuzzer
+    needs.
 
 ``Signal``
     A broadcast condition: processes block on it and are resumed when it
@@ -32,28 +49,156 @@ class SimulationError(RuntimeError):
     """Raised for illegal uses of the engine (e.g. scheduling in the past)."""
 
 
+class CalendarQueue:
+    """Cycle-keyed bucket store with a free pool of drained buckets.
+
+    Invariants (pinned by tests/test_engine_equiv.py property tests):
+
+    * ``buckets[t]`` exists iff cycle ``t`` appears exactly once in the
+      ``times`` heap; ``size`` equals the total number of queued events.
+    * Events within one bucket fire in append (schedule) order — the
+      same total order the reference scheduler's monotonic sequence
+      number produces when no tiebreak perturbation is active.
+    * A fully drained bucket list is cleared and parked on ``pool``
+      (capped at ``pool_cap``) for reuse by the next new cycle, so the
+      steady state allocates no per-cycle list objects.
+
+    The :class:`Simulator` hot loop operates on these fields directly
+    (method-call overhead per event is what this class exists to avoid);
+    the methods below express the same invariants one step at a time for
+    tests and cold paths.
+    """
+
+    __slots__ = ("buckets", "times", "pool", "size", "pool_cap")
+
+    def __init__(self, pool_cap: int = 512) -> None:
+        self.buckets: Dict[int, List[Callable[[], None]]] = {}
+        self.times: List[int] = []          # min-heap of distinct cycles
+        self.pool: List[List[Callable[[], None]]] = []
+        self.size = 0
+        self.pool_cap = pool_cap
+
+    def push(self, time: int, fn: Callable[[], None]) -> None:
+        bucket = self.buckets.get(time)
+        if bucket is None:
+            pool = self.pool
+            if pool:
+                bucket = pool.pop()
+                bucket.append(fn)
+            else:
+                bucket = [fn]
+            self.buckets[time] = bucket
+            heapq.heappush(self.times, time)
+        else:
+            bucket.append(fn)
+        self.size += 1
+
+    def peek_time(self) -> Optional[int]:
+        return self.times[0] if self.times else None
+
+    def pop(self) -> Tuple[int, Callable[[], None]]:
+        """Remove and return the next ``(time, fn)`` in dispatch order."""
+        if not self.times:
+            raise IndexError("pop from an empty CalendarQueue")
+        t = self.times[0]
+        bucket = self.buckets[t]
+        fn = bucket.pop(0)
+        self.size -= 1
+        if not bucket:
+            self.retire_bucket(t, bucket)
+        return t, fn
+
+    def retire_bucket(self, time: int, bucket: List) -> None:
+        """Unlink a fully drained bucket and recycle its list."""
+        heapq.heappop(self.times)
+        del self.buckets[time]
+        if len(self.pool) < self.pool_cap:
+            bucket.clear()
+            self.pool.append(bucket)
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class ReferenceScheduler:
+    """The original single-heapq event store (the differential oracle).
+
+    Each push allocates one ``(time, key, seq, fn)`` tuple; ``key`` is
+    the sequence number itself (stable FIFO) or, with a tiebreak RNG, a
+    deterministic random 30-bit draw that perturbs same-cycle order
+    (schedule order still breaks key collisions).
+    """
+
+    __slots__ = ("heap", "seq", "tiebreak")
+
+    def __init__(self, tiebreak: Optional[random.Random] = None) -> None:
+        self.heap: List[Tuple[int, int, int, Callable[[], None]]] = []
+        self.seq = 0
+        self.tiebreak = tiebreak
+
+    def push(self, time: int, fn: Callable[[], None]) -> None:
+        key = self.seq if self.tiebreak is None else self.tiebreak.getrandbits(30)
+        heapq.heappush(self.heap, (time, key, self.seq, fn))
+        self.seq += 1
+
+    def peek_time(self) -> Optional[int]:
+        return self.heap[0][0] if self.heap else None
+
+    def pop(self) -> Tuple[int, Callable[[], None]]:
+        time, _key, _seq, fn = heapq.heappop(self.heap)
+        return time, fn
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+
 class Simulator:
     """Deterministic discrete-event simulator with an integer cycle clock.
 
-    ``tiebreak_seed`` perturbs the order in which *same-cycle* events fire:
-    instead of pure schedule order, each event draws a deterministic random
-    key from the seed and same-cycle events fire in key order (schedule
-    order still breaks key collisions).  Every seed is one reproducible
-    interleaving — the schedule fuzzer (:mod:`repro.check.fuzz`) sweeps
-    seeds to explore interleavings the default order never produces.
+    Events default to the :class:`CalendarQueue` store.  ``tiebreak_seed``
+    perturbs the order in which *same-cycle* events fire: instead of pure
+    schedule order, each event draws a deterministic random key from the
+    seed and same-cycle events fire in key order.  Every seed is one
+    reproducible interleaving — the schedule fuzzer (:mod:`repro.check.
+    fuzz`) sweeps seeds to explore interleavings the default order never
+    produces.  A tiebreak forces the :class:`ReferenceScheduler` store
+    (the calendar queue is FIFO by construction and cannot express a
+    perturbed order); ``scheduler="reference"`` selects it explicitly,
+    which the differential tests use to compare both stores over the
+    same workload.
+
+    ``event_hook`` (when set to ``fn(time, event)``) observes every event
+    just before it is dispatched — the differential tests' event-order
+    capture point.  It costs one local None-check per event when unset.
     """
 
-    def __init__(self, tiebreak_seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        tiebreak_seed: Optional[int] = None,
+        scheduler: Optional[str] = None,
+    ) -> None:
+        if scheduler not in (None, "calendar", "reference"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
         self.now: int = 0
-        self._queue: List[Tuple[int, int, int, Callable[[], None]]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._tiebreak: Optional[random.Random] = (
             random.Random(tiebreak_seed) if tiebreak_seed is not None else None
         )
+        if self._tiebreak is not None or scheduler == "reference":
+            self._ref: Optional[ReferenceScheduler] = ReferenceScheduler(
+                self._tiebreak
+            )
+            self._cal: Optional[CalendarQueue] = None
+        else:
+            self._ref = None
+            self._cal = CalendarQueue()
         self._probes: List[Callable[[], None]] = []
+        self.event_hook: Optional[Callable[[int, Callable], None]] = None
+        self._stop = False
+        self._running = False
         # event-queue telemetry: plain integer bumps in at()/run() (a few
-        # adds per event next to heappush/heappop, well under timing noise;
+        # adds per event next to the bucket ops, well under timing noise;
         # the engine overhead guard in tests/test_obs_host.py keeps it so).
         # None of these feed back into the simulation — simulated time and
         # event order are bit-identical whether anyone reads them or not.
@@ -64,19 +209,49 @@ class Simulator:
         self.signal_fires: int = 0
         self._host: Optional[Any] = None
 
+    @property
+    def stable_order(self) -> bool:
+        """True when same-cycle events fire in pure schedule order (no
+        tiebreak perturbation) — the mode in which per-pair network FIFO
+        holds by construction (see :mod:`repro.net.network`)."""
+        return self._tiebreak is None
+
     # ------------------------------------------------------------------ #
     # scheduling
 
     def at(self, time: int, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at absolute ``time`` cycles."""
+        if type(time) is not int:
+            time = int(time)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at {time} (now={self.now})"
             )
-        key = self._seq if self._tiebreak is None else self._tiebreak.getrandbits(30)
-        heapq.heappush(self._queue, (int(time), key, self._seq, fn))
+        ref = self._ref
+        if ref is not None:
+            ref.push(time, fn)
+            self._seq += 1
+            depth = len(ref.heap)
+            if depth > self.queue_depth_peak:
+                self.queue_depth_peak = depth
+            return
+        # inlined CalendarQueue.push (this is the hottest allocation site
+        # in the repo; a method call per event costs ~15% of the loop)
+        cal = self._cal
+        bucket = cal.buckets.get(time)
+        if bucket is None:
+            pool = cal.pool
+            if pool:
+                bucket = pool.pop()
+                bucket.append(fn)
+            else:
+                bucket = [fn]
+            cal.buckets[time] = bucket
+            heapq.heappush(cal.times, time)
+        else:
+            bucket.append(fn)
         self._seq += 1
-        depth = len(self._queue)
+        cal.size = depth = cal.size + 1
         if depth > self.queue_depth_peak:
             self.queue_depth_peak = depth
 
@@ -84,7 +259,14 @@ class Simulator:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.at(self.now + int(delay), fn)
+        self.at(self.now + delay, fn)
+
+    def request_stop(self) -> None:
+        """Stop the current (or next) :meth:`run` call before the next
+        event is dispatched.  Cheaper than a ``stop_when`` callable — the
+        loop pays one attribute check per event instead of a Python call
+        — and used by :meth:`repro.cpu.os_sched.OS.run_all`."""
+        self._stop = True
 
     # ------------------------------------------------------------------ #
     # execution
@@ -98,31 +280,142 @@ class Simulator:
         """Drain the event queue.
 
         Stops when the queue is empty, when simulated time would exceed
-        ``until``, when ``max_events`` events have been processed, or when
-        ``stop_when()`` becomes true (checked between events).  Returns the
-        number of events processed by this call.
+        ``until``, when ``max_events`` events have been processed, when
+        ``stop_when()`` becomes true (checked between events), or when
+        :meth:`request_stop` was called.  Returns the number of events
+        processed by this call.  ``run`` must not be re-entered from an
+        event handler.
         """
+        if self._running:
+            raise SimulationError("run() re-entered from an event handler")
         if self._host is not None:
             return self._run_profiled(until, max_events, stop_when)
+        if self._ref is not None:
+            return self._run_reference(until, max_events, stop_when)
+        if max_events is not None and max_events <= 0:
+            return 0
+
+        cal = self._cal
+        buckets = cal.buckets
+        times = cal.times
+        pool = cal.pool
+        probes = self._probes
+        hook = self.event_hook
+        pop_time = heapq.heappop
+        nmax = -1 if max_events is None else max_events
         processed = 0
-        while self._queue:
-            if stop_when is not None and stop_when():
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            time, _key, _seq, fn = self._queue[0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            self._queue_depth_sum += len(self._queue)
-            self.now = time
-            fn()
-            processed += 1
-            if self._probes:
-                for probe in self._probes:
-                    probe()
-        self._events_processed += processed
+        depth_sum = 0
+        bucket: Optional[List] = None
+        i = 0
+        self._running = True
+        try:
+            while times:
+                if self._stop or (stop_when is not None and stop_when()):
+                    self._stop = False
+                    break
+                if processed == nmax:
+                    break
+                t = times[0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                bucket = buckets[t]
+                self.now = t
+                i = 0
+                broke = False
+                while True:
+                    fn = bucket[i]
+                    i += 1
+                    cal.size = size = cal.size - 1
+                    depth_sum += size
+                    if hook is not None:
+                        hook(t, fn)
+                    fn()
+                    processed += 1
+                    if probes:
+                        for probe in probes:
+                            probe()
+                    if i == len(bucket):
+                        break       # drained (len re-read: same-cycle
+                        # appends made during fn() grow the bucket)
+                    if self._stop or (stop_when is not None and stop_when()):
+                        self._stop = False
+                        del bucket[:i]
+                        broke = True
+                        break
+                    if processed == nmax:
+                        del bucket[:i]
+                        broke = True
+                        break
+                if broke:
+                    break
+                # batched advance: retire the bucket and jump straight to
+                # the next armed cycle — empty cycles cost nothing.
+                pop_time(times)
+                del buckets[t]
+                if len(pool) < cal.pool_cap:
+                    bucket.clear()
+                    pool.append(bucket)
+                bucket = None
+        except BaseException:
+            # keep the store consistent if a handler raised mid-bucket:
+            # events [0, i) were dispatched, the rest stay queued.  If the
+            # raising handler was the bucket's last event, retire the
+            # bucket outright — an empty bucket left armed would crash
+            # the next run() call.
+            if bucket is not None and i:
+                if i == len(bucket):
+                    pop_time(times)
+                    del buckets[self.now]
+                    if len(pool) < cal.pool_cap:
+                        bucket.clear()
+                        pool.append(bucket)
+                else:
+                    del bucket[:i]
+            raise
+        finally:
+            self._running = False
+            self._queue_depth_sum += depth_sum
+            self._events_processed += processed
+        return processed
+
+    def _run_reference(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> int:
+        """The :meth:`run` loop over the :class:`ReferenceScheduler` heap
+        (tiebreak runs and the differential oracle).  Semantically the
+        original pre-calendar loop."""
+        heap = self._ref.heap
+        hook = self.event_hook
+        processed = 0
+        self._running = True
+        try:
+            while heap:
+                if self._stop or (stop_when is not None and stop_when()):
+                    self._stop = False
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                time, _key, _seq, fn = heapq.heappop(heap)
+                self._queue_depth_sum += len(heap)
+                self.now = time
+                if hook is not None:
+                    hook(time, fn)
+                fn()
+                processed += 1
+                if self._probes:
+                    for probe in self._probes:
+                        probe()
+        finally:
+            self._running = False
+            self._events_processed += processed
         return processed
 
     def _run_profiled(
@@ -133,51 +426,138 @@ class Simulator:
     ) -> int:
         """The :meth:`run` loop with host-time attribution.
 
-        Identical event semantics to the plain loop (same pops, same
-        clock updates, same probe ordering) — only host-clock reads are
-        interleaved.  Every nanosecond between loop entry and loop exit
-        is charged to exactly one bucket: the event handler's subsystem,
-        ``obs`` for invariant probes, or ``engine`` for the loop itself
-        (heap ops, bound checks), so the attribution sums to the total
-        by construction.
+        Identical event semantics to the plain loops (same dispatch
+        order, same clock updates, same probe ordering) — only host-clock
+        reads are interleaved.  Every nanosecond between loop entry and
+        loop exit is charged to exactly one bucket: the event handler's
+        subsystem, ``obs`` for invariant probes, or ``engine`` for the
+        loop itself (queue ops, bound checks), so the attribution sums to
+        the total by construction.
         """
         host = self._host
         clock = host.clock
+        hook = self.event_hook
         processed = 0
+        self._running = True
         t_mark = clock()
-        while self._queue:
-            if stop_when is not None and stop_when():
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            time, _key, _seq, fn = self._queue[0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            self._queue_depth_sum += len(self._queue)
-            self.now = time
-            t0 = clock()
-            fn()
-            t1 = clock()
-            processed += 1
-            if self._probes:
-                for probe in self._probes:
-                    probe()
-                t2 = clock()
-                host.charge("obs", t2 - t1)
+        try:
+            if self._ref is not None:
+                heap = self._ref.heap
+                while heap:
+                    if self._stop or (stop_when is not None and stop_when()):
+                        self._stop = False
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        self.now = until
+                        break
+                    time, _key, _seq, fn = heapq.heappop(heap)
+                    self._queue_depth_sum += len(heap)
+                    self.now = time
+                    if hook is not None:
+                        hook(time, fn)
+                    t0 = clock()
+                    fn()
+                    t1 = clock()
+                    processed += 1
+                    if self._probes:
+                        for probe in self._probes:
+                            probe()
+                        t2 = clock()
+                        host.charge("obs", t2 - t1)
+                    else:
+                        t2 = t1
+                    host.charge("engine", t0 - t_mark)
+                    host.charge_event(fn, t1 - t0)
+                    t_mark = t2
             else:
-                t2 = t1
-            host.charge("engine", t0 - t_mark)
-            host.charge_event(fn, t1 - t0)
-            t_mark = t2
-        host.charge("engine", clock() - t_mark)
-        self._events_processed += processed
+                cal = self._cal
+                buckets = cal.buckets
+                times = cal.times
+                pool = cal.pool
+                bucket: Optional[List] = None
+                i = 0
+                try:
+                    while times:
+                        if self._stop or (
+                            stop_when is not None and stop_when()
+                        ):
+                            self._stop = False
+                            break
+                        if max_events is not None and processed >= max_events:
+                            break
+                        t = times[0]
+                        if until is not None and t > until:
+                            self.now = until
+                            break
+                        bucket = buckets[t]
+                        self.now = t
+                        i = 0
+                        broke = False
+                        while True:
+                            fn = bucket[i]
+                            i += 1
+                            cal.size = size = cal.size - 1
+                            self._queue_depth_sum += size
+                            if hook is not None:
+                                hook(t, fn)
+                            t0 = clock()
+                            fn()
+                            t1 = clock()
+                            processed += 1
+                            if self._probes:
+                                for probe in self._probes:
+                                    probe()
+                                t2 = clock()
+                                host.charge("obs", t2 - t1)
+                            else:
+                                t2 = t1
+                            host.charge("engine", t0 - t_mark)
+                            host.charge_event(fn, t1 - t0)
+                            t_mark = t2
+                            if i == len(bucket):
+                                break
+                            if self._stop or (
+                                stop_when is not None and stop_when()
+                            ):
+                                self._stop = False
+                                del bucket[:i]
+                                broke = True
+                                break
+                            if max_events is not None and processed >= max_events:
+                                del bucket[:i]
+                                broke = True
+                                break
+                        if broke:
+                            break
+                        heapq.heappop(times)
+                        del buckets[t]
+                        if len(pool) < cal.pool_cap:
+                            bucket.clear()
+                            pool.append(bucket)
+                        bucket = None
+                except BaseException:
+                    if bucket is not None and i:
+                        if i == len(bucket):
+                            heapq.heappop(times)
+                            del buckets[self.now]
+                            if len(pool) < cal.pool_cap:
+                                bucket.clear()
+                                pool.append(bucket)
+                        else:
+                            del bucket[:i]
+                    raise
+        finally:
+            self._running = False
+            host.charge("engine", clock() - t_mark)
+            self._events_processed += processed
         return processed
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._ref) if self._ref is not None else self._cal.size
 
     @property
     def events_processed(self) -> int:
@@ -188,7 +568,8 @@ class Simulator:
 
     @property
     def heap_pushes(self) -> int:
-        """Events ever pushed (== event-tuple allocations): ``at`` count."""
+        """Events ever pushed (``at`` count; the name predates the
+        calendar queue and is kept for trajectory comparability)."""
         return self._seq
 
     @property
@@ -214,7 +595,7 @@ class Simulator:
             "heap_pops": self._events_processed,
             "queue_depth_peak": self.queue_depth_peak,
             "queue_depth_mean": self.queue_depth_mean,
-            "pending_events": len(self._queue),
+            "pending_events": self.pending_events,
             "signal_waits": self.signal_waits,
             "signal_cancels": self.signal_cancels,
             "signal_fires": self.signal_fires,
@@ -322,16 +703,18 @@ class Server:
         self.requests: int = 0
 
     def request(self, service: int, fn: Callable[[], None]) -> int:
-        """Enqueue work taking ``service`` cycles; ``fn`` runs at completion.
-        Returns the completion time."""
+        """Enqueue work taking ``service`` (integer) cycles; ``fn`` runs
+        at completion.  Returns the completion time."""
         if service < 0:
             raise SimulationError(f"negative service time {service}")
-        start = max(self._sim.now, self._free_at)
-        done = start + int(service)
+        sim = self._sim
+        now = sim.now
+        free = self._free_at
+        done = (free if free > now else now) + service
         self._free_at = done
-        self.busy_cycles += int(service)
+        self.busy_cycles += service
         self.requests += 1
-        self._sim.at(done, fn)
+        sim.at(done, fn)
         return done
 
     def queue_delay(self) -> int:

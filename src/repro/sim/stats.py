@@ -56,6 +56,31 @@ class Accumulator:
         self.max = max(self.max, other.max)  # type: ignore[type-var]
         return self
 
+    def to_dict(self) -> Dict[str, object]:
+        """Exact-state dump (full float precision, not a rounded summary)
+        so a merge can continue in another process: ``from_dict(to_dict())``
+        reproduces the accumulator bit-for-bit.  Used by the multiprocess
+        sweep runner to ship per-shard moments back to the parent."""
+        return {
+            "n": self.n,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self.min,
+            "max": self.max,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Accumulator":
+        acc = cls()
+        acc.n = d["n"]
+        acc._mean = d["mean"]
+        acc._m2 = d["m2"]
+        acc.min = d["min"]
+        acc.max = d["max"]
+        acc.total = d["total"]
+        return acc
+
     @property
     def mean(self) -> float:
         return self._mean if self.n else 0.0
@@ -147,6 +172,23 @@ class Histogram:
             self.buckets[b] = self.buckets.get(b, 0) + count
         self.acc.merge(other.acc)
         return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Exact-state dump (buckets + accumulator moments), the mergeable
+        counterpart of the lossy :meth:`summary`.  Bucket keys are emitted
+        as strings so the dump survives a JSON round trip."""
+        return {
+            "bucket_width": self.bucket_width,
+            "buckets": {str(b): c for b, c in sorted(self.buckets.items())},
+            "acc": self.acc.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Histogram":
+        h = cls(bucket_width=d["bucket_width"])
+        h.buckets = {int(b): c for b, c in d["buckets"].items()}
+        h.acc = Accumulator.from_dict(d["acc"])
+        return h
 
     @property
     def empty(self) -> bool:

@@ -1,0 +1,321 @@
+"""Differential equivalence: calendar queue vs the reference scheduler.
+
+The engine-speed overhaul replaced the single-heapq event store with a
+calendar/bucketed queue (`repro.sim.engine.CalendarQueue`).  The entire
+reproduction's determinism contract rides on one property: *the new
+store dispatches exactly the same events at exactly the same cycles in
+exactly the same order as the old one*.  These tests prove it two ways:
+
+* differentially — run seeded full-stack workloads (locks x models x
+  fault plans) twice, once per store, capturing every dispatch through
+  ``Simulator.event_hook``, and demand bit-identical event sequences,
+  final clocks and results;
+* by property — hammer the `CalendarQueue` itself with seeded random
+  push/pop interleavings against a sorted-by-(time, seq) oracle.
+
+Everything here carries the ``engine`` marker (CI runs it as its own
+gate).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.os_sched import OS
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import generate_plan
+from repro.locks.base import get_algorithm
+from repro.params import model_a, model_b, small_test_model
+from repro.sim.engine import CalendarQueue, ReferenceScheduler, Signal, Simulator
+
+from .conftest import RWTracker, cs_program
+
+pytestmark = pytest.mark.engine
+
+
+# --------------------------------------------------------------------- #
+# event-order capture
+
+
+def _label(fn) -> str:
+    """Stable identity of an event callable across two separate machine
+    builds: the qualified name of the underlying function (closures,
+    bound methods) or of the callable's class (slotted frame objects)."""
+    func = getattr(fn, "__func__", fn)
+    qual = getattr(func, "__qualname__", None)
+    if qual is None:
+        qual = type(fn).__qualname__
+    return qual
+
+
+def _run_workload(scheduler, config_factory, lock_name, seed,
+                  fault_classes=None, threads=5, iters=12):
+    """Run one seeded workload on the given event store and return the
+    captured ``(cycle, handler)`` dispatch sequence plus end-state."""
+    machine = Machine(config_factory(), scheduler=scheduler)
+    os_ = OS(machine)
+    algo = get_algorithm(lock_name)(machine)
+    handle = algo.make_lock()
+    tracker = RWTracker()
+
+    def write_of(thread, i):
+        # pure function of (tid, iteration, seed): identical mode choices
+        # on both stores without sharing RNG state across runs
+        return (thread.tid * 2654435761 + i * 40503 + seed) % 100 < 60
+
+    if fault_classes:
+        plan = generate_plan(seed=seed, classes=fault_classes,
+                             horizon=30_000)
+        FaultInjector(machine, os_, plan).arm()
+
+    trace = []
+    machine.sim.event_hook = lambda t, fn: trace.append((t, _label(fn)))
+    for _ in range(threads):
+        os_.spawn(cs_program(algo, handle, tracker, iters,
+                             write_of=write_of))
+    elapsed = os_.run_all(max_cycles=5_000_000)
+    machine.sim.event_hook = None
+    machine.drain()
+    return {
+        "trace": trace,
+        "elapsed": elapsed,
+        "now": machine.sim.now,
+        "events": machine.sim.events_processed,
+        "cs": tracker.total,
+        "violations": tracker.violations,
+    }
+
+
+WORKLOADS = [
+    # (config, lock, seed, fault classes)
+    (small_test_model, "lcu", 11, None),
+    (small_test_model, "mcs", 23, None),
+    (small_test_model, "mrsw", 37, None),
+    (model_a, "lcu", 5, None),
+    (model_b, "lcu", 7, None),
+    (model_b, "ticket", 13, None),
+    (small_test_model, "lcu", 41, ["preempt"]),
+    (small_test_model, "lcu", 43, ["capacity", "evict"]),
+]
+
+
+@pytest.mark.parametrize(
+    "config_factory,lock,seed,faults", WORKLOADS,
+    ids=[f"{c.__name__}-{l}-s{s}-{'+'.join(f) if f else 'clean'}"
+         for c, l, s, f in WORKLOADS],
+)
+def test_calendar_matches_reference(config_factory, lock, seed, faults):
+    """Same workload, both stores: bit-identical dispatch sequence,
+    final cycle count and critical-section tally."""
+    cal = _run_workload(None, config_factory, lock, seed, faults)
+    ref = _run_workload("reference", config_factory, lock, seed, faults)
+    assert cal["events"] == ref["events"]
+    assert cal["elapsed"] == ref["elapsed"]
+    assert cal["now"] == ref["now"]
+    assert cal["cs"] == ref["cs"]
+    # the load-bearing assertion: event-by-event order parity
+    assert cal["trace"] == ref["trace"]
+
+
+def test_microbench_metrics_match_reference():
+    """RunReport-level simulated metrics agree between the stores."""
+    from repro.harness.microbench import run_microbench
+
+    kw = dict(threads=6, write_pct=40, iters_per_thread=20, seed=9)
+    a = run_microbench(small_test_model(), "lcu", **kw)
+
+    import repro.harness.microbench as mb
+    import repro.cpu.machine as machine_mod
+
+    class RefMachine(machine_mod.Machine):
+        def __init__(self, config, tiebreak_seed=None, scheduler=None):
+            super().__init__(config, tiebreak_seed, scheduler="reference")
+
+    orig = mb.Machine
+    mb.Machine = RefMachine
+    try:
+        b = run_microbench(small_test_model(), "lcu", **kw)
+    finally:
+        mb.Machine = orig
+    assert a.elapsed == b.elapsed
+    assert a.total_cs == b.total_cs
+    assert a.per_thread_cs == b.per_thread_cs
+    assert a.acquire_latency_mean == b.acquire_latency_mean
+    assert a.fairness == b.fairness
+
+
+def test_tiebreak_still_perturbs_order():
+    """The schedule fuzzer's perturbation survives the rewrite: a
+    tiebreak seed selects the reference store and produces a different
+    (but internally deterministic) interleaving."""
+    base = _run_workload(None, small_test_model, "lcu", 3, threads=6)
+    tb = []
+    for _ in range(2):
+        machine = Machine(small_test_model(), tiebreak_seed=99)
+        os_ = OS(machine)
+        algo = get_algorithm("lcu")(machine)
+        handle = algo.make_lock()
+        tracker = RWTracker()
+        trace = []
+        machine.sim.event_hook = lambda t, fn: trace.append((t, _label(fn)))
+        for _ in range(6):
+            os_.spawn(cs_program(algo, handle, tracker, 12))
+        os_.run_all(max_cycles=5_000_000)
+        machine.sim.event_hook = None
+        machine.drain()
+        tb.append(trace)
+    assert tb[0] == tb[1], "tiebreak runs must replay exactly"
+    assert tb[0] != base["trace"], "tiebreak must actually perturb order"
+
+
+# --------------------------------------------------------------------- #
+# calendar-queue property tests (seeded in-repo generators)
+
+
+def _oracle_order(pushes):
+    """Expected dispatch order: by time, then push sequence (FIFO)."""
+    return [fn for _t, _seq, fn in
+            sorted(((t, i, fn) for i, (t, fn) in enumerate(pushes)),
+                   key=lambda x: (x[0], x[1]))]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_push_pop_monotone_and_fifo(seed):
+    """Random interleavings of pushes and pops: pops come out in
+    nondecreasing time order, same-cycle pops in push (FIFO) order, and
+    ``size`` tracks exactly."""
+    rng = random.Random(seed * 7919 + 1)
+    q = CalendarQueue()
+    pushed = []           # (time, tag) in push order
+    popped = []
+    clock = 0
+    next_tag = 0
+    for _ in range(600):
+        if q.size and rng.random() < 0.4:
+            t, fn = q.pop()
+            assert t >= clock, "pop must never go backwards in time"
+            clock = t
+            popped.append((t, fn))
+        else:
+            t = clock + rng.randrange(0, 12)
+            tag = next_tag
+            next_tag += 1
+            q.push(t, ("ev", t, tag))
+            pushed.append((t, ("ev", t, tag)))
+        assert len(q) == len(pushed) - len(popped)
+    while q.size:
+        t, fn = q.pop()
+        assert t >= clock
+        clock = t
+        popped.append((t, fn))
+    assert [fn for _t, fn in popped] == _oracle_order(pushed)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_calendar_agrees_with_reference_store(seed):
+    """Drain both stores over an identical random push schedule."""
+    rng = random.Random(seed * 104729 + 3)
+    q = CalendarQueue()
+    ref = ReferenceScheduler()
+    for i in range(500):
+        t = rng.randrange(0, 64)
+        q.push(t, i)
+        ref.push(t, i)
+    out_q = [q.pop() for _ in range(500)]
+    out_ref = [ref.pop() for _ in range(500)]
+    assert out_q == out_ref
+
+
+def test_bucket_pool_rollover_and_cap():
+    """Drained bucket lists recycle through the pool; the pool never
+    exceeds its cap; recycled buckets come back empty."""
+    q = CalendarQueue(pool_cap=4)
+    for round_ in range(10):
+        for t in range(8):
+            q.push(round_ * 100 + t, ("e", round_, t))
+        while q.size:
+            q.pop()
+        assert len(q.pool) <= 4
+        assert all(b == [] for b in q.pool)
+        assert not q.buckets and not q.times
+
+
+def test_batched_advance_skips_empty_cycles():
+    """The clock jumps straight across arbitrarily long empty gaps."""
+    sim = Simulator()
+    hits = []
+    sim.at(5, lambda: hits.append(sim.now))
+    sim.at(1_000_000_007, lambda: hits.append(sim.now))
+    n = sim.run()
+    assert n == 2
+    assert hits == [5, 1_000_000_007]
+    assert sim.now == 1_000_000_007
+
+
+def test_signal_cancel_and_rearm():
+    """Signal wait / cancel / re-arm keep working over the calendar
+    store: a cancelled waiter never fires, a re-armed one fires once."""
+    sim = Simulator()
+    fired = []
+    sig = Signal(sim)
+    token = sig.wait(lambda _p: fired.append("a"))
+    sig.cancel(token)
+    sig.wait(lambda _p: fired.append("b"))
+    sim.at(10, sig.fire)
+    sim.run()
+    assert fired == ["b"]
+    # re-arm after a fire: next fire resumes the new waiter only
+    sig.wait(lambda _p: fired.append("c"))
+    sim.at(20, sig.fire)
+    sim.run()
+    assert fired == ["b", "c"]
+
+
+def test_same_cycle_appends_dispatch_this_cycle():
+    """An event scheduled *for the current cycle* from inside a handler
+    joins the tail of the live bucket and runs before time advances —
+    on both stores."""
+    for scheduler in (None, "reference"):
+        sim = Simulator(scheduler=scheduler)
+        order = []
+
+        def first():
+            order.append("first")
+            sim.at(sim.now, lambda: order.append("chained"))
+
+        sim.at(7, first)
+        sim.at(7, lambda: order.append("second"))
+        sim.at(8, lambda: order.append("later"))
+        sim.run()
+        assert order == ["first", "second", "chained", "later"]
+
+
+def test_raise_mid_bucket_keeps_store_consistent():
+    """A handler raising mid-bucket must leave the queue resumable:
+    already-dispatched events gone, the rest still queued — including
+    the corner case where the raiser was the bucket's last event."""
+    for position in ("middle", "last"):
+        sim = Simulator()
+        ran = []
+        sim.at(5, lambda: ran.append("a"))
+        if position == "middle":
+            sim.at(5, self_destruct := _raiser())
+            sim.at(5, lambda: ran.append("b"))
+        else:
+            sim.at(5, self_destruct := _raiser())
+        sim.at(9, lambda: ran.append("tail"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        # resumable: remaining events drain cleanly
+        sim.run()
+        expect = ["a", "b", "tail"] if position == "middle" else ["a", "tail"]
+        assert ran == expect
+
+
+def _raiser():
+    def boom():
+        raise RuntimeError("boom")
+    return boom

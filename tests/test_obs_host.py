@@ -139,6 +139,85 @@ class TestAttribution:
         assert "attributed" in text
 
 
+class TestSlottedDispatchClassification:
+    """The engine rewrite replaced hot-path closures with slotted frame
+    objects (`_Transit`), completion guards (`_Guard`) and bound
+    methods.  Classification must keep attributing them to their true
+    subsystems — and the tiling invariant must keep holding exactly."""
+
+    def test_slotted_frames_classified_not_other(self):
+        host, _ = _profiled_run()
+        d = host.to_dict()
+        handlers = d["handlers"]
+        # the network's per-message frame object dispatches as net
+        transits = [q for q in handlers if "_Transit" in q]
+        assert transits, "no _Transit dispatches were profiled"
+        assert all(handlers[q]["subsystem"] == "net" for q in transits)
+        # the scheduler's completion guard dispatches as cpu
+        guards = [q for q in handlers if "_Guard" in q]
+        assert guards, "no _Guard dispatches were profiled"
+        assert all(handlers[q]["subsystem"] == "cpu" for q in guards)
+        # nothing on the hot path of a pure-repro workload is "other"
+        assert d["subsystems"].get("other", 0) == 0
+
+    def test_tiling_exact_with_slotted_dispatch(self):
+        host, _ = _profiled_run(threads=6, iters=10)
+        d = host.to_dict()
+        assert d["subsystems"].get("net", 0) > 0
+        assert sum(d["subsystems"].values()) == d["total_ns"]
+
+    def test_bound_method_classified_by_function_module(self):
+        host = HostProfiler()
+        sim = Simulator()
+        sim.at(0, sim.request_stop)  # bound method of a repro.sim class
+        host.attach(sim)
+        sim.run()
+        host.detach()
+        handlers = host.to_dict()["handlers"]
+        (qual,) = handlers
+        assert "request_stop" in qual
+        assert handlers[qual]["subsystem"] == "engine"
+
+    def test_foreign_bound_method_falls_back_to_owner_module(self):
+        """A method defined outside repro but bound to a repro-owned
+        object (monkeypatched handler) classifies by the owner class."""
+        from repro.sim.engine import Server
+
+        def patched(self):
+            pass
+
+        Server.test_hook = patched  # defined in tests.*, owner repro.sim
+        try:
+            sim = Simulator()
+            srv = Server(sim, "s")
+            host = HostProfiler()
+            host.attach(sim)
+            sim.at(0, srv.test_hook)
+            sim.run()
+            host.detach()
+        finally:
+            del Server.test_hook
+        handlers = host.to_dict()["handlers"]
+        (qual,) = handlers
+        assert handlers[qual]["subsystem"] == "engine"
+
+    def test_builtin_bound_method_classified_by_owner(self):
+        host = HostProfiler()
+        sim = Simulator()
+        hits = []
+        sim.at(0, hits.copy)  # builtin bound method, owner: list
+        host.attach(sim)
+        sim.run()
+        host.detach()
+        handlers = host.to_dict()["handlers"]
+        (qual,) = handlers
+        assert qual == "list.copy"
+        assert handlers[qual]["subsystem"] == "other"
+        # tiling still exact even for unclassifiable handlers
+        d = host.to_dict()
+        assert sum(d["subsystems"].values()) == d["total_ns"]
+
+
 class TestAttachDetach:
     def test_double_attach_same_profiler_is_an_error(self):
         sim = Simulator()
