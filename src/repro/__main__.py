@@ -659,7 +659,9 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_check(args) -> int:
-    from repro.check.fuzz import fuzz, load_case, run_case, save_case, shrink
+    from repro.check.fuzz import (
+        FuzzCase, fuzz_matrix, load_case, run_case, save_case, shrink,
+    )
 
     tracer = SpanTracer() if args.trace_out else None
 
@@ -695,21 +697,28 @@ def cmd_check(args) -> int:
 
     locks = sorted(all_algorithms()) if args.all else [args.lock]
     models = ["A", "B"] if args.model == "all" else [args.model]
+    workers = args.workers or 0
+    if tracer is not None and workers >= 2:
+        print("note: --trace-out forces a serial run (spans cannot "
+              "cross process boundaries)")
+        workers = 0
+
+    def shard_progress(shard) -> None:
+        print(f"{shard['algo']:8s} model {shard['model']}: "
+              f"{'FAIL' if shard['failing'] else 'pass'}  "
+              f"({shard['runs']} runs, {shard['total_cs']} CS)")
+
+    shards = fuzz_matrix(
+        locks, models, runs=args.runs, seed=args.seed,
+        workers=workers, progress=shard_progress, span_tracer=tracer,
+    )
     failed = []
-    for model in models:
-        for name in locks:
-            outcomes = fuzz(
-                name, model=model, runs=args.runs, seed=args.seed,
-                span_tracer=tracer,
-            )
-            bad = [o for o in outcomes if not o.ok]
-            total_cs = sum(o.total_cs for o in outcomes)
-            print(f"{name:8s} model {model}: "
-                  f"{'FAIL' if bad else 'pass'}  "
-                  f"({len(outcomes)} runs, {total_cs} CS)")
-            if bad:
-                failed.append((name, model))
-                report_failure(bad[0])
+    for shard in shards:
+        if shard["failing"]:
+            failed.append((shard["algo"], shard["model"]))
+            # replay the failing case in-process (deterministic) to
+            # recover the full outcome for minimization/saving
+            report_failure(run_case(FuzzCase.from_dict(shard["failing"][0])))
     emit_trace()
     if failed:
         print(f"{len(failed)} failing combination(s): {failed}")
@@ -742,7 +751,7 @@ def cmd_faults(args) -> int:
     result = run_matrix(
         algos=algos, models=models, classes=classes, seed=args.seed,
         threads=args.threads, iters=args.iters, horizon=args.horizon,
-        progress=progress,
+        progress=progress, workers=args.workers or 0,
     )
     counts = result.counts
     print(f"\n{len(result.cells)} cells: "
@@ -999,6 +1008,10 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--trace-out", metavar="FILE", default=None,
                     help="write a Chrome trace-event JSON (open spans "
                          "are flushed, not dropped, on a violation)")
+    ck.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="fan (lock, model) combinations out over N "
+                         "worker processes; results are identical to "
+                         "the serial run (default: serial)")
     ck.set_defaults(fn=cmd_check)
 
     fl = sub.add_parser(
@@ -1021,6 +1034,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="lock/unlock iterations per thread")
     fl.add_argument("--horizon", type=int, default=12_000,
                     help="fault-plan horizon in cycles")
+    fl.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="fan matrix cells out over N worker processes; "
+                         "the report is byte-identical to the serial "
+                         "run (default: serial)")
     fl.add_argument("--out", metavar="FILE", default=None,
                     help="write the full JSON nemesis report here")
     fl.set_defaults(fn=cmd_faults)

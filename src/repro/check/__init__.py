@@ -31,6 +31,7 @@ from repro.check.fuzz import (
     CheckOutcome,
     FuzzCase,
     fuzz,
+    fuzz_matrix,
     load_case,
     run_case,
     save_case,
@@ -40,15 +41,16 @@ from repro.check.invariants import (
     ExclusionTracker,
     InvariantMonitor,
     InvariantViolation,
+    LivenessViolation,
     audit_lcu_queues,
     check_quiescent,
 )
 from repro.check.oracle import RWLockOracle
 
 __all__ = [
-    "InvariantViolation", "InvariantMonitor", "ExclusionTracker",
-    "audit_lcu_queues", "check_quiescent",
+    "InvariantViolation", "LivenessViolation", "InvariantMonitor",
+    "ExclusionTracker", "audit_lcu_queues", "check_quiescent",
     "RWLockOracle",
-    "FuzzCase", "CheckOutcome", "run_case", "fuzz", "shrink",
-    "save_case", "load_case",
+    "FuzzCase", "CheckOutcome", "run_case", "fuzz", "fuzz_matrix",
+    "shrink", "save_case", "load_case",
 ]

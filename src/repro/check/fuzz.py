@@ -26,13 +26,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import multiprocessing
 import random
 from typing import Any, Dict, List, Optional
 
-from repro.check.invariants import InvariantMonitor, InvariantViolation
+from repro.check.invariants import (
+    InvariantMonitor, InvariantViolation, LivenessViolation,
+)
 from repro.cpu import ops
 from repro.cpu.machine import Machine
-from repro.cpu.os_sched import OS, DeadlockError
+from repro.cpu.os_sched import CRASHED, DONE, OS, DeadlockError
 from repro.lcu.lcu import ProtocolError
 from repro.locks import get_algorithm  # package import populates the registry
 from repro.params import MachineConfig, model_a, model_b, small_test_model
@@ -41,7 +44,17 @@ _MODELS = {"A": model_a, "B": model_b, "T": small_test_model}
 
 #: reproducer format version (bump when FuzzCase fields change shape)
 #: 2: optional ``faults`` fault-plan dict (format-1 docs still load)
-FORMAT = 2
+#: 3: optional ``crash_policy`` crash victim-policy override
+FORMAT = 3
+
+#: liveness bound (cycles) armed for crash-faulted cases: every waiter
+#: must be granted within this many cycles of max(its request, the last
+#: injected fault).  Sized for the worst recovery chain — a crashed
+#: middle node wedging a queue costs two silent lease windows plus the
+#: capped probe ladder plus the reclaim handshake (~150k cycles at the
+#: default hardening knobs) — with slack, while still far below any
+#: workload horizon, so a genuine post-fault hang cannot hide.
+LIVENESS_BOUND = 250_000
 
 
 def make_model(model: str, **overrides) -> MachineConfig:
@@ -85,6 +98,12 @@ class FuzzCase:
     flt_entries: Optional[int] = None  # override: enable the FLT
     tiebreak_seed: Optional[int] = None
     faults: Optional[Dict[str, Any]] = None  # FaultPlan dict (repro.faults)
+    #: crash victim policy override: None = auto by algorithm ("busy"
+    #: for LCU-backed locks, "idle" for software ones), or one of
+    #: "busy" / "idle" / "any" ("any" removes the gate entirely — the
+    #: sabotage mode that crashes unrecoverable holders on purpose, used
+    #: to prove the liveness oracle actually fires)
+    crash_policy: Optional[str] = None
     note: str = ""
 
     def describe(self) -> str:
@@ -110,6 +129,8 @@ class FuzzCase:
         if self.faults is not None:
             kinds = sorted({e["kind"] for e in self.faults["events"]})
             bits.append(f"faults={'+'.join(kinds)}")
+        if self.crash_policy is not None:
+            bits.append(f"crash={self.crash_policy}")
         return " ".join(bits)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -157,6 +178,70 @@ class CheckOutcome:
 # execution
 
 
+def _crash_victim_gate(case, machine, os_, algo, monitor):
+    """Build the crash victim-policy closure the injector consults
+    before killing a core (``fn(core) -> bool``), or None for the
+    unconditional "any" policy.
+
+    The fault model distinguishes *recoverable* crashes (what lease
+    revocation and LCU purge are built to absorb) from crashes the
+    protocol calls unrecoverable by design:
+
+    * ``"busy"`` (LCU-backed locks) — crash only when the core's LCU
+      actually holds lock state, so the crash lands on a live queue and
+      exercises recovery rather than killing an idle bystander.  For
+      ``lcu_fb`` it additionally refuses while any prospective victim is
+      inside the software ticket path: a dead ticket holder wedges the
+      chain and nothing revokes software tickets (forcing one is the
+      ``"any"`` sabotage scenario).
+    * ``"idle"`` (software locks) — crash only cores whose threads are
+      all outside any lock protocol: not holding, not waiting, and
+      executing think-phase :class:`~repro.cpu.ops.Compute`.  Software
+      locks have no revocation story at all; the op check closes the
+      release-notify-before-unlock window where the oracle already
+      shows a thread idle but its unlock stores have not run.
+
+    The gate runs synchronously inside the injection event, so there is
+    no window between the check and the kill."""
+    policy = case.crash_policy
+    if policy is None:
+        policy = "busy" if algo.name in ("lcu", "lcu_fb") else "idle"
+    if policy == "any":
+        return None
+
+    def victims(core):
+        return [
+            t for t in os_.threads
+            if t.core == core and t.state not in (DONE, CRASHED)
+        ]
+
+    if policy == "busy":
+        def gate(core: int) -> bool:
+            homed = machine.lcus[core].homed_tids()
+            if not homed:
+                return False
+            sw_active = getattr(algo, "_sw_active", None)
+            if sw_active:
+                dying = {t.tid for t in victims(core)} | homed
+                if dying & sw_active:
+                    return False
+            return True
+        return gate
+
+    if policy != "idle":
+        raise ValueError(f"unknown crash_policy {policy!r}")
+
+    def gate(core: int) -> bool:
+        for t in victims(core):
+            for oracle in monitor.oracles.values():
+                if t.tid in oracle.holders or t.tid in oracle.waiting:
+                    return False
+            if not isinstance(t.current_op, ops.Compute):
+                return False
+        return True
+    return gate
+
+
 def run_case(
     case: FuzzCase,
     span_tracer=None,
@@ -199,10 +284,25 @@ def run_case(
         # deferred import: repro.faults pulls in repro.check for outcome
         # verification, so the dependency must stay one-way at load time
         from repro.faults.injector import FaultInjector
-        from repro.faults.plan import FaultPlan
+        from repro.faults.plan import CRASH_CLASSES, FaultPlan
 
         injector = FaultInjector(machine, os_, FaultPlan.from_dict(case.faults))
         injector.arm()
+        if any(k in CRASH_CLASSES for k in injector.plan.classes):
+            # crash-stop faults in play: install the victim policy and
+            # arm the liveness oracle — after the last fault every armed
+            # request must be granted within LIVENESS_BOUND cycles, so a
+            # silent post-crash hang becomes a structured violation
+            injector.victim_gate = _crash_victim_gate(
+                case, machine, os_, algo, monitor
+            )
+            monitor.liveness_bound = LIVENESS_BOUND
+            monitor.last_fault_at_fn = lambda: injector.last_fault_at
+            # monitor first (it reads oracle holder state the protocol
+            # cleanup below does not touch), then the algorithm's own
+            # robust-futex-style cleanup
+            os_.crash_hooks.append(monitor.on_crash)
+            os_.crash_hooks.append(algo.on_crash)
 
     per_thread_cs = [0] * case.threads
 
@@ -258,12 +358,21 @@ def run_case(
     except DeadlockError as d:
         if span_tracer is not None:
             span_tracer.flush_open()
-        violation = InvariantViolation(
-            "no_lost_wakeup",
-            f"scheduler wedged: {d}",
-            time=machine.sim.now,
-            events=monitor.recent_events(),
-        )
+        if injector is not None and injector.stats:
+            # faults were actually injected: a wedged scheduler is the
+            # liveness failure the crash-recovery machinery must prevent
+            violation = LivenessViolation(
+                f"scheduler wedged after faults: {d}",
+                time=machine.sim.now,
+                events=monitor.recent_events(),
+            )
+        else:
+            violation = InvariantViolation(
+                "no_lost_wakeup",
+                f"scheduler wedged: {d}",
+                time=machine.sim.now,
+                events=monitor.recent_events(),
+            )
     except (ProtocolError, AssertionError) as p:
         if span_tracer is not None:
             span_tracer.flush_open()
@@ -412,6 +521,60 @@ def fuzz(
     return outcomes
 
 
+def _shard_dict(algo: str, model: str, outcomes) -> Dict[str, Any]:
+    return {
+        "algo": algo,
+        "model": model,
+        "runs": len(outcomes),
+        "total_cs": sum(o.total_cs for o in outcomes),
+        "failing": [o.case.to_dict() for o in outcomes if not o.ok],
+    }
+
+
+def _fuzz_shard(spec) -> Dict[str, Any]:
+    """Worker-process entry point for :func:`fuzz_matrix`.  Returns a
+    plain dict: ``CheckOutcome``/``InvariantViolation`` carry custom
+    constructors that do not survive pool pickling, and the parent can
+    deterministically re-run any failing case anyway."""
+    algo, model, runs, seed = spec
+    return _shard_dict(algo, model, fuzz(algo, model=model, runs=runs,
+                                         seed=seed))
+
+
+def fuzz_matrix(
+    algos,
+    models,
+    runs: int = 10,
+    seed: int = 0,
+    workers: int = 0,
+    progress=None,
+    span_tracer=None,
+) -> List[Dict[str, Any]]:
+    """Fuzz every (algo, model) combination, optionally fanned out over
+    a spawn-context process pool.  Deterministic in its arguments AND
+    the worker count: each combination is an independent fuzz stream
+    keyed by ``(algo, model, runs, seed)``, and shards merge in spec
+    order.  Failing cases come back as case dicts — replay one with
+    ``run_case(FuzzCase.from_dict(d))`` (bit-identical) to recover the
+    full outcome and violation in-process.  ``span_tracer`` only
+    applies to the serial path (spans cannot cross process boundaries)."""
+    specs = [(a, m, runs, seed) for m in models for a in algos]
+    if workers >= 2 and len(specs) > 1:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(workers, len(specs))) as pool:
+            shards = pool.map(_fuzz_shard, specs)  # order-preserving
+    else:
+        shards = [
+            _shard_dict(a, m, fuzz(a, model=m, runs=r, seed=s,
+                                   span_tracer=span_tracer))
+            for a, m, r, s in specs
+        ]
+    for shard in shards:
+        if progress is not None:
+            progress(shard)
+    return shards
+
+
 # --------------------------------------------------------------------- #
 # shrinking
 
@@ -439,6 +602,8 @@ def _candidates(case: FuzzCase) -> List[FuzzCase]:
         variant(think_cycles=0)
     if case.cs_cycles:
         variant(cs_cycles=0)
+    if case.crash_policy is not None:
+        variant(crash_policy=None)
     if case.faults is not None:
         variant(faults=None)
         kinds = sorted({e["kind"] for e in case.faults["events"]})

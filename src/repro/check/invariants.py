@@ -86,6 +86,24 @@ class InvariantViolation(RuntimeError):
         }
 
 
+class LivenessViolation(InvariantViolation):
+    """The liveness oracle fired: an armed request was not granted
+    within the configured bound after the last injected fault — a
+    silent post-fault hang, surfaced as a structured violation with the
+    protocol trace window instead of a timed-out run."""
+
+    def __init__(
+        self,
+        message: str,
+        time: Optional[int] = None,
+        details: Optional[Dict[str, Any]] = None,
+        events: Optional[List[str]] = None,
+    ) -> None:
+        super().__init__(
+            "liveness", message, time=time, details=details, events=events
+        )
+
+
 class ExclusionTracker:
     """Reader-writer exclusion state for one lock.
 
@@ -327,6 +345,16 @@ class InvariantMonitor:
         #: faults): threads frozen by a forced core stall are excused
         #: from overtake accounting, since they cannot consume a grant
         self.os = None
+        #: liveness oracle (armed by fault harnesses): every request by
+        #: a surviving thread must be granted within this many cycles of
+        #: ``max(request time, last injected fault)``; None disarms it
+        self.liveness_bound: Optional[int] = None
+        #: ``fn() -> cycle`` of the most recent injected fault (the
+        #: harness wires the injector's ``last_fault_at`` here)
+        self.last_fault_at_fn: Optional[Callable[[], int]] = None
+        #: tids killed by injected crash-stop faults (fed by
+        #: :meth:`on_crash` via ``OS.crash_hooks``)
+        self._crashed_tids: set = set()
         self.audit_stride = max(1, audit_stride)
         self.history = history
         self.overtake_bound = overtake_bound
@@ -392,6 +420,41 @@ class InvariantMonitor:
             events=self.recent_events(),
         )
 
+    def _violate_liveness(self, message: str, **details: Any) -> None:
+        if self.span_tracer is not None:
+            self.span_tracer.flush_open()
+        raise LivenessViolation(
+            message,
+            time=self.machine.sim.now,
+            details=details,
+            events=self.recent_events(),
+        )
+
+    # -- crash-stop fault support ---------------------------------------- #
+
+    def _last_fault_at(self) -> int:
+        return (
+            self.last_fault_at_fn() if self.last_fault_at_fn is not None
+            else 0
+        )
+
+    def on_crash(self, thread) -> None:
+        """Crash hook (wired to ``OS.crash_hooks`` by fault harnesses):
+        ``thread`` died in an injected crash.  Its holds are released on
+        its behalf at the protocol level (LCU purge / queue revocation),
+        so the software-level shadow must drop them too — otherwise the
+        tracker and oracle would report a phantom holder, and a grant to
+        the next waiter would look like an exclusion breach."""
+        tid = thread.tid
+        self._crashed_tids.add(tid)
+        for handle, oracle in self.oracles.items():
+            write = oracle.holders.get(tid)
+            if write is not None:
+                tracker = self.trackers.get(handle)
+                if tracker is not None:
+                    tracker.exit(write)
+            oracle.crash(tid, self.machine.sim.now)
+
     # -- hooks ----------------------------------------------------------- #
 
     def _oracle_for(self, handle: Any):
@@ -424,6 +487,23 @@ class InvariantMonitor:
         if event == "request":
             oracle.request(tid, write, now)
         elif event == "acquire":
+            if self.liveness_bound is not None:
+                entry = oracle.waiting.get(tid)
+                if entry is not None:
+                    # Bound the grant delay from whichever is later: the
+                    # request, or the last injected fault (recovery time
+                    # is charged to recovery, not to the whole wait).
+                    start = max(entry[2], self._last_fault_at())
+                    delay = now - start
+                    if delay > self.liveness_bound:
+                        self._violate_liveness(
+                            f"tid {tid} waited {delay} cycles for a "
+                            f"{'write' if write else 'read'} grant "
+                            f"(bound {self.liveness_bound}) after the "
+                            "last fault",
+                            handle=handle, requested=entry[2],
+                            last_fault=self._last_fault_at(),
+                        )
             tracker.enter(write)
             oracle.acquire(tid, write, now, excused=self._frozen_tids(now))
         elif event == "release":
@@ -433,17 +513,22 @@ class InvariantMonitor:
             oracle.abandon(tid, now)
 
     def _frozen_tids(self, now: int) -> Optional[set]:
-        """Tids currently frozen by an injected core stall, or ``None``.
+        """Tids that cannot consume a grant — frozen by an injected core
+        stall, or dead from an injected crash — or ``None``.
 
-        Only consulted once the OS has recorded a forced stall, so
-        unfaulted runs never pay for (or change behaviour on) this.
+        The sets are only built once the OS has recorded a forced stall
+        or a crash hook has fired, so unfaulted runs never pay for (or
+        change behaviour on) this.
         """
-        if self.os is None or not self.os.forced_stalls:
+        stalled = self.os is not None and self.os.forced_stalls
+        if not stalled and not self._crashed_tids:
             return None
-        frozen = {
-            t.tid for t in self.os.threads
-            if t.frozen or t.freeze_until > now
-        }
+        frozen = set(self._crashed_tids)
+        if stalled:
+            frozen |= {
+                t.tid for t in self.os.threads
+                if t.frozen or t.freeze_until > now
+            }
         return frozen or None
 
     def _on_hw_event(self, event: str, addr: int, tid: int,
@@ -496,6 +581,22 @@ class InvariantMonitor:
                     f"w={tracker.writers} violations={tracker.violations}",
                     handle=handle,
                 )
+        if self.liveness_bound is not None:
+            now = self.machine.sim.now
+            for handle, oracle in self.oracles.items():
+                for tid, (_seq, write, req_time) in oracle.waiting.items():
+                    if tid in self._crashed_tids:
+                        continue
+                    start = max(req_time, self._last_fault_at())
+                    if now - start > self.liveness_bound:
+                        self._violate_liveness(
+                            f"tid {tid} still waiting for a "
+                            f"{'write' if write else 'read'} grant "
+                            f"{now - start} cycles after the last fault "
+                            f"(bound {self.liveness_bound})",
+                            handle=handle, requested=req_time,
+                            last_fault=self._last_fault_at(),
+                        )
         for handle, oracle in self.oracles.items():
             leftover = oracle.end_state_problems()
             if leftover:

@@ -166,6 +166,16 @@ class RWLockOracle:
             self._violate(f"tid {tid} abandoned at t={now} without a request")
         self.overtaken.pop(tid, None)
 
+    def crash(self, tid: int, now: int) -> None:
+        """The thread died in an injected crash-stop fault: its hold
+        ends (the protocol releases on its behalf — LCU purge or queue
+        revocation), its wait ends (a dead waiter can never consume a
+        grant), and its overtake record is void.  Not a violation of
+        anything: crash recovery is the machinery under test."""
+        self.holders.pop(tid, None)
+        self.waiting.pop(tid, None)
+        self.overtaken.pop(tid, None)
+
     def grant_timeout(self) -> None:
         """The hardware grant timer skipped an absent waiter; later
         acquisitions may legally overtake it."""

@@ -111,13 +111,52 @@ class Machine:
         self.sim.run(until=self.sim.now + max_cycles)
 
     def harden(
-        self, watchdog_interval: int = 20_000, silence_threshold: int = 50_000
+        self, watchdog_interval: int = 20_000,
+        silence_threshold: int = 50_000,
+        lease_cycles: "int | None" = None,
     ) -> None:
         """Arm fault tolerance in every LCU and LRT (see repro.faults)."""
         for lcu in self.lcus:
             lcu.harden()
         for lrt in self.lrts:
-            lrt.harden(watchdog_interval, silence_threshold)
+            lrt.harden(watchdog_interval, silence_threshold, lease_cycles)
+
+    # ------------------------------------------------------------------ #
+    # crash-stop faults (repro.faults crash_core / restart_core)
+
+    def crash_core(self, core: int) -> set:
+        """Hardware side of a crash-stop fault: the core's LCU dies with
+        all its lock state, and every LRT is told the core is dead (so
+        queue reclamation never waits on it).  Returns the tids whose
+        lock state was homed on the dead LCU — the caller must also kill
+        those threads (see :meth:`repro.cpu.os_sched.OS.crash_core`),
+        because their only record of holding/queueing died here."""
+        homed = self.lcus[core].crash()
+        for lrt in self.lrts:
+            lrt.note_dead_core(core)
+        return homed
+
+    def restart_core(self, core: int) -> None:
+        """Rebirth after :meth:`crash_core`: the LCU comes back empty and
+        the LRTs resume including the core in reset broadcasts.  Lock
+        state lost in the crash stays lost — recovery is the LRT lease
+        watchdog's job, not the restart's."""
+        self.lcus[core].restart()
+        for lrt in self.lrts:
+            lrt.note_live_core(core)
+
+    def purge_dead_tids(self, tids) -> None:
+        """Release lock state held *at live LCUs* by threads that died in
+        a crash (a migrated thread's entries live on the core it acquired
+        from, not the core it died on).  Models the surviving OS kernels'
+        robust-futex-style crash cleanup: each live LCU releases the dead
+        threads' held locks on their behalf so waiters behind them make
+        progress without waiting out a full lease revocation."""
+        dead = set(tids)
+        if not dead:
+            return
+        for lcu in self.lcus:
+            lcu.purge_dead_tids(dead)
 
     # ------------------------------------------------------------------ #
     # invariant checking (used heavily by the test suite)

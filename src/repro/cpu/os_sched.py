@@ -28,6 +28,7 @@ RUNNING = "running"
 READY = "ready"
 WAITING = "waiting"    # futex / sleep — core released
 DONE = "done"
+CRASHED = "crashed"    # killed by a crash_core fault — never resumes
 
 
 class DeadlockError(RuntimeError):
@@ -129,6 +130,11 @@ class OS:
         self._stalled_until: Dict[int, int] = {}
         self.forced_preemptions = 0
         self.forced_stalls = 0
+        # crash-stop faults: dead cores + per-victim notification hooks
+        self.crashed_cores: set = set()
+        self.crash_hooks: List[Callable[[SimThread], None]] = []
+        self.crashes = 0
+        self.restarts = 0
 
     # ------------------------------------------------------------------ #
     # public API
@@ -163,7 +169,9 @@ class OS:
             finally:
                 self._stop_on_idle = False
         if self.active > 0:
-            pending = [t for t in self.threads if t.state != DONE]
+            pending = [
+                t for t in self.threads if t.state not in (DONE, CRASHED)
+            ]
             lines = [self._diagnose(t) for t in pending[:16]]
             more = "" if len(pending) <= 16 else f"\n  ... +{len(pending) - 16} more"
             raise DeadlockError(
@@ -226,7 +234,8 @@ class OS:
 
     def _release_core(self, t: SimThread) -> None:
         if t.core is not None:
-            self.idle_cores.append(t.core)
+            if t.core not in self.crashed_cores:
+                self.idle_cores.append(t.core)
             t.core = None
 
     def _slice_timer(self, t: SimThread, epoch: int) -> None:
@@ -319,6 +328,68 @@ class OS:
         # Ready threads may be queued behind this core: re-dispatch once
         # the window closes.
         self.sim.at(end, self._dispatch)
+
+    def crash_core(self, core: int, extra_tids=()) -> List[int]:
+        """Crash-stop fault: core ``core`` dies now and stays dead until
+        :meth:`restart_core`.  The thread running there is killed, as is
+        every thread in ``extra_tids`` regardless of where it runs —
+        callers pass the tids whose lock state was homed on the dead
+        core's LCU, so software state and hardware state die together.
+        Killed threads never resume (their generators are abandoned);
+        each one is reported to every registered ``crash_hooks`` callback
+        so invariant monitors can excuse its held locks.  Returns the
+        tids actually killed."""
+        if core in self.crashed_cores:
+            return []
+        self.crashes += 1
+        self.crashed_cores.add(core)
+        try:
+            self.idle_cores.remove(core)
+        except ValueError:
+            pass
+        extra = set(extra_tids)
+        victims = [
+            t for t in self.threads
+            if t.state not in (DONE, CRASHED)
+            and (t.core == core or t.tid in extra)
+        ]
+        killed: List[int] = []
+        for t in victims:
+            if t.cancel_wait is not None:
+                cancel, t.cancel_wait = t.cancel_wait, None
+                cancel()
+            t.op_seq += 1   # stale any in-flight completion
+            t.epoch += 1    # stale slice timers / unfreeze events
+            if t.state == READY:
+                try:
+                    self.ready.remove(t)
+                except ValueError:
+                    pass
+            # WAITING victims stay parked in their futex deque; wakes
+            # skip non-WAITING sleepers, so the stale entry is inert.
+            self._release_core(t)
+            t.state = CRASHED
+            t.frozen = False
+            self.active -= 1
+            killed.append(t.tid)
+            for hook in self.crash_hooks:
+                hook(t)
+        self._dispatch()
+        if self.active == 0 and self._stop_on_idle:
+            self.sim.request_stop()
+        return killed
+
+    def restart_core(self, core: int) -> bool:
+        """Rebirth after :meth:`crash_core`: the core returns to service
+        and may run surviving threads.  Crash-stop semantics — threads
+        killed by the crash stay dead."""
+        if core not in self.crashed_cores:
+            return False
+        self.restarts += 1
+        self.crashed_cores.discard(core)
+        self.idle_cores.append(core)
+        self._dispatch()
+        return True
 
     # ------------------------------------------------------------------ #
     # program driving

@@ -12,15 +12,18 @@ from repro.faults.injector import FaultInjector, FaultOutcome
 from repro.faults.nemesis import NemesisResult, run_matrix
 from repro.faults.plan import (
     ALL_CLASSES,
+    CRASH_CLASSES,
     LCU_ONLY_CLASSES,
     MESSAGE_CLASSES,
+    SCHED_CLASSES,
     FaultEvent,
     FaultPlan,
     generate_plan,
 )
 
 __all__ = [
-    "ALL_CLASSES", "LCU_ONLY_CLASSES", "MESSAGE_CLASSES",
+    "ALL_CLASSES", "CRASH_CLASSES", "LCU_ONLY_CLASSES",
+    "MESSAGE_CLASSES", "SCHED_CLASSES",
     "FaultEvent", "FaultPlan", "generate_plan",
     "FaultInjector", "FaultOutcome",
     "NemesisResult", "run_matrix",

@@ -17,11 +17,13 @@ style tooling or shrunk by the fuzzer.
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.fuzz import FuzzCase, run_case
 from repro.faults.plan import (
+    CRASH_CLASSES,
     LCU_ONLY_CLASSES,
     MESSAGE_CLASSES,
     SCHED_CLASSES,
@@ -35,8 +37,14 @@ DEFAULT_ALGOS: Tuple[str, ...] = (
 )
 DEFAULT_MODELS: Tuple[str, ...] = ("A", "B")
 #: classes every algorithm faces; LCU-backed locks additionally face
-#: the hardware-pressure classes
-UNIVERSAL_CLASSES: Tuple[str, ...] = MESSAGE_CLASSES + SCHED_CLASSES
+#: the hardware-pressure classes.  Crash-stop classes are universal:
+#: software locks face them under the "idle" victim policy (a core dies
+#: between critical sections), LCU-backed locks under the "busy" policy
+#: (the crash lands on live hardware lock state and must be revoked by
+#: the lease machinery) — see repro.check.fuzz._crash_victim_gate.
+UNIVERSAL_CLASSES: Tuple[str, ...] = (
+    MESSAGE_CLASSES + SCHED_CLASSES + CRASH_CLASSES
+)
 LCU_ALGOS: Tuple[str, ...] = ("lcu", "lcu_fb")
 
 
@@ -168,6 +176,35 @@ def run_cell(
     )
 
 
+def _cell_specs(
+    algos: Sequence[str],
+    models: Sequence[str],
+    classes: Optional[Sequence[str]],
+    seed: int,
+    threads: int,
+    iters: int,
+    horizon: int,
+) -> List[Tuple]:
+    """The matrix cells in canonical (spec) order — the order the report
+    lists them in regardless of how they are executed."""
+    return [
+        (algo, model, fault, seed, threads, iters, horizon)
+        for model in models
+        for algo in algos
+        for fault in classes_for(algo, classes)
+    ]
+
+
+def _cell_shard(spec: Tuple) -> Dict[str, Any]:
+    """Worker-process entry point: run one cell, return it as a plain
+    dict (pool transport must not depend on rich-object pickling)."""
+    algo, model, fault, seed, threads, iters, horizon = spec
+    return run_cell(
+        algo, model, fault, seed,
+        threads=threads, iters=iters, horizon=horizon,
+    ).to_dict()
+
+
 def run_matrix(
     algos: Sequence[str] = DEFAULT_ALGOS,
     models: Sequence[str] = DEFAULT_MODELS,
@@ -177,18 +214,36 @@ def run_matrix(
     iters: int = 30,
     horizon: int = 12_000,
     progress=None,
+    workers: int = 0,
 ) -> NemesisResult:
     """Run the full nemesis matrix.  Deterministic in its arguments:
-    the report dict is bit-identical across runs with the same inputs."""
+    the report dict is bit-identical across runs with the same inputs
+    AND any worker count — every cell is an independent simulation
+    keyed only by its spec, and results are merged in spec order.
+
+    ``workers >= 2`` fans cells out over a spawn-context process pool
+    (spawn, not fork: each worker imports a clean interpreter, so no
+    inherited module state can perturb a cell).  ``workers <= 1`` runs
+    serially in-process.  With a pool, ``progress`` fires at merge time
+    (spec order), not at cell completion."""
+    specs = _cell_specs(algos, models, classes, seed, threads, iters, horizon)
     cells: List[NemesisCell] = []
-    for model in models:
-        for algo in algos:
-            for fault in classes_for(algo, classes):
-                cell = run_cell(
-                    algo, model, fault, seed,
-                    threads=threads, iters=iters, horizon=horizon,
-                )
-                cells.append(cell)
-                if progress is not None:
-                    progress(cell)
+    if workers >= 2 and len(specs) > 1:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(workers, len(specs))) as pool:
+            shards = pool.map(_cell_shard, specs)  # order-preserving
+        for shard in shards:
+            cell = NemesisCell(**shard)
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    else:
+        for spec in specs:
+            cell = run_cell(
+                spec[0], spec[1], spec[2], spec[3],
+                threads=spec[4], iters=spec[5], horizon=spec[6],
+            )
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
     return NemesisResult(seed=seed, cells=cells)

@@ -33,6 +33,16 @@ Scheduling faults:
 * ``stall``   — window: one core stops executing (SMI / firmware
   stall); its threads freeze mid-operation and resume after.
 
+Crash-stop faults:
+
+* ``crash_core``   — point event: core ``core`` dies for good — its
+  running thread, its LCU (with every queue node, held-generation
+  record and FLT park homed there) and its in-flight frames are gone.
+  Recovery is the LRT lease watchdog's job.
+* ``restart_core`` — a ``crash_core`` followed by a seeded rebirth
+  ``duration`` cycles later: the core returns with an *empty* LCU and
+  a fresh frame era; the threads that died stay dead.
+
 ``links`` selects which directed endpoint pairs a message fault (and
 the reliable layer protecting them) applies to:
 
@@ -57,8 +67,15 @@ MESSAGE_CLASSES: Tuple[str, ...] = ("drop", "dup", "delay")
 LCU_ONLY_CLASSES: Tuple[str, ...] = ("evict", "flt_storm", "capacity")
 #: scheduling faults, meaningful for every lock algorithm
 SCHED_CLASSES: Tuple[str, ...] = ("preempt", "stall")
+#: crash-stop faults (core death, with or without rebirth); meaningful
+#: for every algorithm, but the injector's victim policy differs: for
+#: LCU-backed locks the crash deliberately lands on live lock state,
+#: for software locks it waits for a compute-phase victim (an
+#: unrecoverable software-lock holder death is the liveness oracle's
+#: sabotage scenario, not a survivable fault)
+CRASH_CLASSES: Tuple[str, ...] = ("crash_core", "restart_core")
 ALL_CLASSES: Tuple[str, ...] = (
-    MESSAGE_CLASSES + LCU_ONLY_CLASSES + SCHED_CLASSES
+    MESSAGE_CLASSES + LCU_ONLY_CLASSES + SCHED_CLASSES + CRASH_CLASSES
 )
 
 LINK_SETS: Tuple[str, ...] = ("lcu_lrt", "inter_chip", "all")
@@ -210,6 +227,20 @@ def generate_plan(
             elif kind == "preempt":
                 events.append(FaultEvent(
                     kind=kind, at=when(), migrate=rng.random() < 0.5,
+                ))
+            elif kind == "crash_core":
+                events.append(FaultEvent(
+                    kind=kind, at=when(), core=rng.randrange(cores),
+                ))
+            elif kind == "restart_core":
+                # ``duration`` is the rebirth delay, counted from the
+                # moment the crash actually lands (victim-policy polling
+                # may postpone it past ``at``).
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    duration=rng.randrange(2_000, 20_000),
+                    core=rng.randrange(cores),
                 ))
             else:  # evict / flt_storm: point events
                 events.append(FaultEvent(kind=kind, at=when()))

@@ -69,12 +69,14 @@ class LockControlUnit:
         # was removed at acquisition time (see DESIGN.md on how this models
         # the overflow bit the paper's message encoding would carry).
         self._overflow_grants: Set[Tuple[int, int]] = set()
-        # Transfer generation of uncontended locks whose entry was removed
-        # at acquisition.  Re-allocation (FwdRequest / rel) must resume
-        # from this value, not from the LRT's possibly-stale gen: the LRT
-        # learns generations off the critical path, so trusting it can
-        # fork the sequence and misdirect a Dealloc at a live holder.
-        self._held_gen: Dict[Tuple[int, int], int] = {}
+        # Transfer generation (and hold mode) of uncontended locks whose
+        # entry was removed at acquisition: (addr, tid) -> (gen, write).
+        # Re-allocation (FwdRequest / rel) must resume from this gen, not
+        # from the LRT's possibly-stale one: the LRT learns generations
+        # off the critical path, so trusting it can fork the sequence and
+        # misdirect a Dealloc at a live holder.  The mode lets crash
+        # cleanup release a dead thread's invisible hold on its behalf.
+        self._held_gen: Dict[Tuple[int, int], Tuple[int, bool]] = {}
         # Free Lock Table (paper IV-C, future work): locks released
         # uncontended are parked here instead of being returned to the
         # LRT, restoring the "implicit biasing" of coherence-based locks.
@@ -86,9 +88,17 @@ class LockControlUnit:
         #: fault-free run (grant for a missing entry, forward to an
         #: unknown tail) are treated as recoverable fault symptoms
         self.hardened = False
+        #: crash-stop fault: a dead LCU drops every message and serves no
+        #: instructions until :meth:`restart` (see machine.crash_core)
+        self.dead = False
         #: addr -> generation of the last QueueReset seen; messages from
         #: earlier eras are stale and must be dropped, not acted on
         self._reset_gen: Dict[int, int] = {}
+        #: per-LCU issue counter for outgoing Requests: stamps
+        #: ``LcuEntry.req_seq`` / ``Request.seq`` so stale per-request
+        #: replies (RETRY/WAIT) crossing a crash-reclaim re-request
+        #: cannot bind to the newer entry under the same (addr, tid)
+        self._req_seq = 0
         #: fault-injection pressure: None, or a temporary cap (< config)
         #: on the ordinary entry pool (models resource exhaustion)
         self._forced_capacity: Optional[int] = None
@@ -282,6 +292,115 @@ class LockControlUnit:
         return True
 
     # ------------------------------------------------------------------ #
+    # crash-stop faults (repro.faults crash_core / restart_core)
+
+    def homed_tids(self) -> Set[int]:
+        """Tids with lock state recorded at this LCU — a queue entry, a
+        held-generation record, an overflow grant, or an FLT park.
+        Empty iff crashing this unit would wipe no lock state (the
+        "busy" crash victim policy asks exactly this)."""
+        homed: Set[int] = {tid for (_addr, tid) in self._entries}
+        homed |= {tid for (_addr, tid) in self._held_gen}
+        homed |= {tid for (_addr, tid) in self._overflow_grants}
+        homed |= {tid for (tid, _w, _g) in self._flt.values()}
+        return homed
+
+    def crash(self) -> Set[int]:
+        """Crash-stop: this LCU dies, losing every entry, held-generation
+        record, overflow grant and FLT park.  While dead it drops all
+        protocol messages (counted in ``dead_drops``) — the LRT's lease
+        watchdog and crash notifications recover the orphaned queues.
+        Returns the tids whose lock state was homed here: each provably
+        has no other record of holding or queueing on the wiped locks,
+        so the caller kills those threads too (crash model: software and
+        hardware state die together, making lease revocation safe)."""
+        self.dead = True
+        self.stats["crashes"] = self.stats.get("crashes", 0) + 1
+        homed = self.homed_tids()
+        self._entries.clear()
+        self._ordinary_in_use = 0
+        self._local_in_use = False
+        self._remote_in_use = False
+        self._overflow_grants.clear()
+        self._held_gen.clear()
+        self._flt.clear()
+        self._evicted.clear()
+        self._reset_gen.clear()
+        self._signals.clear()
+        return homed
+
+    def restart(self) -> None:
+        """Rebirth after :meth:`crash`: the unit comes back with an empty
+        table and resumes serving messages.  Era fencing against stale
+        pre-crash frames is re-established by the first QueueReset of
+        each reclaimed lock (``_reset_gen`` repopulates from it)."""
+        self.dead = False
+
+    def purge_dead_tids(self, dead: Set[int]) -> None:
+        """Release, on their behalf, locks held *at this live LCU* by
+        threads that died in a core crash elsewhere (the migrated-holder
+        case).  ACQ entries release immediately; invisible holds
+        (held-generation records, FLT parks, overflow grants) are
+        materialised as ordinary releases.  RCV/ISSUED/WAIT entries of
+        dead threads are left to the grant timer, which already forwards
+        unclaimed grants of absent threads (paper III-C)."""
+        if self.dead:
+            return
+        for key, e in list(self._entries.items()):
+            if e.tid in dead and e.status == ACQ:
+                self.stats["crash_releases"] = (
+                    self.stats.get("crash_releases", 0) + 1
+                )
+                self._observe("release", e.addr, e.tid, e.write)
+                self._release_entry(e)
+        for addr in [
+            a for a, (tid, _w, _g) in self._flt.items() if tid in dead
+        ]:
+            if not self.force_flt_evict(addr):
+                self._retry_purge(dead)
+        for key in [k for k in self._held_gen if k[1] in dead]:
+            addr, tid = key
+            gen, write = self._held_gen[key]
+            e = self._alloc(addr, tid, write, for_release=True)
+            if e is None:
+                self._retry_purge(dead)
+                continue
+            del self._held_gen[key]
+            e.status = REL
+            e.gen = gen
+            self.stats["crash_releases"] = (
+                self.stats.get("crash_releases", 0) + 1
+            )
+            self._observe("release", addr, tid, write)
+            self._send_lrt(
+                addr, msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), False)
+            )
+        for key in [k for k in self._overflow_grants if k[1] in dead]:
+            addr, tid = key
+            e = self._alloc(addr, tid, False, for_release=True)
+            if e is None:
+                self._retry_purge(dead)
+                continue
+            self._overflow_grants.discard(key)
+            e.status = REL
+            e.overflow = True
+            self.stats["crash_releases"] = (
+                self.stats.get("crash_releases", 0) + 1
+            )
+            self._observe("release", addr, tid, False)
+            self._send_lrt(
+                addr, msg.ReleaseMsg(addr, Who(tid, self.lcu_id, False), True)
+            )
+
+    def _retry_purge(self, dead: Set[int]) -> None:
+        """Entry pool momentarily full while materialising a dead
+        thread's release: retry once entries have drained."""
+        self.stats["crash_purge_retries"] = (
+            self.stats.get("crash_purge_retries", 0) + 1
+        )
+        self._sim.after(500, lambda: self.purge_dead_tids(dead))
+
+    # ------------------------------------------------------------------ #
     # ISA primitives (invoked by the core; cost = config.lcu_latency,
     # charged by the executor)
 
@@ -308,7 +427,7 @@ class LockControlUnit:
                 # FLT hit: the thread re-acquires its own parked lock with
                 # zero remote traffic (the biased fast path).
                 del self._flt[addr]
-                self._held_gen[key] = parked[2]
+                self._held_gen[key] = (parked[2], parked[1])
                 self.stats["flt_hits"] = self.stats.get("flt_hits", 0) + 1
                 self.stats["acquires"] += 1
                 self._observe("acquire", addr, tid, write)
@@ -317,12 +436,14 @@ class LockControlUnit:
             if e is None:
                 return False
             e.status = ISSUED
+            self._req_seq += 1
+            e.req_seq = self._req_seq
             self._probe("req_sent", addr, tid, write)
             self._send_lrt(
                 addr,
                 msg.Request(
                     addr, Who(tid, self.lcu_id, write),
-                    e.nonblocking, priority,
+                    e.nonblocking, priority, seq=e.req_seq,
                 ),
             )
             return False
@@ -343,7 +464,7 @@ class LockControlUnit:
             e.status = ACQ
             if e.head and e.next is None:
                 # Uncontended: remove the entry to leave room (paper III-A).
-                self._held_gen[key] = e.gen
+                self._held_gen[key] = (e.gen, e.write)
                 self._free(e)
             return True
         if e.status == RD_REL and not write:
@@ -369,7 +490,7 @@ class LockControlUnit:
                 # Park the lock in the Free Lock Table instead of telling
                 # the LRT: the release stays invisible remotely, so a
                 # re-acquisition by this thread is free (paper IV-C).
-                self._flt[addr] = (tid, write, self._held_gen.pop(key))
+                self._flt[addr] = (tid, write, self._held_gen.pop(key)[0])
                 self.stats["flt_parks"] = self.stats.get("flt_parks", 0) + 1
                 self.stats["releases"] += 1
                 self._observe("release", addr, tid, write)
@@ -382,7 +503,7 @@ class LockControlUnit:
             self._overflow_grants.discard(key)
             e.status = REL
             e.overflow = overflow
-            e.gen = self._held_gen.pop(key, 0)
+            e.gen = self._held_gen.pop(key, (0, write))[0]
             self.stats["releases"] += 1
             self._observe("release", addr, tid, write)
             self._send_lrt(
@@ -422,9 +543,15 @@ class LockControlUnit:
         if e is None:
             return False
         e.status = ISSUED
+        self._req_seq += 1
+        e.req_seq = self._req_seq
         self._probe("req_sent", addr, tid, write)
         self._send_lrt(
-            addr, msg.Request(addr, Who(tid, self.lcu_id, write), e.nonblocking)
+            addr,
+            msg.Request(
+                addr, Who(tid, self.lcu_id, write), e.nonblocking,
+                seq=e.req_seq,
+            ),
         )
         return True
 
@@ -507,6 +634,12 @@ class LockControlUnit:
     # message handling
 
     def on_message(self, _src: Endpoint, m: object) -> None:
+        if self.dead:
+            # Crashed core: the unit neither processes nor answers.
+            # Senders recover via the LRT's crash notification / lease
+            # watchdog, never by retransmitting into a dead node.
+            self.stats["dead_drops"] = self.stats.get("dead_drops", 0) + 1
+            return
         h = _LCU_HANDLERS.get(m.__class__)
         if h is None:
             raise ProtocolError(f"LCU{self.lcu_id}: unexpected message {m!r}")
@@ -542,6 +675,8 @@ class LockControlUnit:
                 f"LCU{self.lcu_id}: grant {m!r} for missing entry"
             )
         e.gen = max(e.gen, m.gen)
+        if m.lease:
+            e.lease = max(e.lease, m.lease)
 
         if m.overflow:
             if e.status not in (ISSUED, WAIT):
@@ -708,7 +843,7 @@ class LockControlUnit:
                 return
             e.status = ACQ
             e.head = True
-            e.gen = max(m.gen, self._held_gen.pop(key, 0))
+            e.gen = max(m.gen, self._held_gen.pop(key, (0, m.tail_write))[0])
         if e.next is not None:
             if self.hardened:
                 if e.next == m.req:
@@ -742,7 +877,9 @@ class LockControlUnit:
             )
             return
 
-        self._send_lcu(m.req.lcu, msg.WaitMsg(m.addr, m.req.tid))
+        self._send_lcu(
+            m.req.lcu, msg.WaitMsg(m.addr, m.req.tid, seq=m.req_seq)
+        )
         if (
             not m.req.write
             and not e.write
@@ -757,7 +894,9 @@ class LockControlUnit:
 
     def _on_wait(self, m: msg.WaitMsg) -> None:
         e = self._entries.get((m.addr, m.tid))
-        if e is not None and e.status == ISSUED:
+        if e is None or (m.seq and m.seq != e.req_seq):
+            return  # stale WAIT for an earlier issue of this request
+        if e.status == ISSUED:
             e.status = WAIT
             self._fire(m.addr, m.tid)
 
@@ -765,6 +904,11 @@ class LockControlUnit:
         e = self._entries.get((m.addr, m.tid))
         self.stats["retries_received"] += 1
         if e is not None:
+            if m.seq and m.seq != e.req_seq:
+                # Stale RETRY: it answered an earlier issue of this
+                # (addr, tid) request whose entry a crash reclaim
+                # already freed; this entry is a newer incarnation.
+                return
             if e.status != ISSUED:
                 if self.hardened:
                     # A reclaim raced this RETRY: the entry it addressed
@@ -864,6 +1008,7 @@ class LockControlUnit:
         # tombstones are now safe to re-request through.
         self._evicted = {k for k in self._evicted if k[0] != m.addr}
         readers = 0
+        survivor = -1
         for (addr, tid), e in list(self._entries.items()):
             if addr != m.addr:
                 continue
@@ -908,31 +1053,70 @@ class LockControlUnit:
                     self.stats.get("reset_freed", 0) + 1
                 )
                 self._free(e)
-            # ACQ writers / RCV writers holding a live token are left
-            # alone: a reclaim is only triggered once the Head token is
-            # provably dead, so these cannot coexist with it; if one
-            # slips through a race its release resolves through the
-            # idempotent release path.
+            elif e.write and e.status in (ACQ, RCV):
+                # A live writer owning the lock (or the just-delivered
+                # Head token): the reclaim was triggered by a dead tail
+                # or middle node, not by this holder.  Its next-chain
+                # died with the old era — sever it, adopt the new
+                # generation, and report the hold so the LRT re-seats
+                # this writer as the new era's queue head.
+                e.next = None
+                e.head = True
+                e.gen = max(e.gen, m.gen)
+                survivor = tid
+        # Invisible holds have no entry but still own the lock: surface
+        # them too, or the new era would grant over a live hold.
+        for key in [k for k in self._held_gen if k[0] == m.addr]:
+            _gen, w = self._held_gen[key]
+            if w:
+                # Held-generation writer: keep the record (its release
+                # path is unchanged) and re-seat it at the LRT; future
+                # forwards re-allocate its entry (paper Figure 4b).
+                survivor = key[1]
+            else:
+                # Held-generation reader: convert to an overflow grant
+                # so the release is LRT-visible and drains reader_cnt.
+                del self._held_gen[key]
+                self._overflow_grants.add(key)
+                readers += 1
+        if self._flt.get(m.addr) is not None:
+            # An FLT park is a *released* lock kept locally biased; the
+            # new era starts from a clean table, so drop the bias (the
+            # next local acquire simply re-requests).
+            del self._flt[m.addr]
+            self.stats["reset_unparked"] = (
+                self.stats.get("reset_unparked", 0) + 1
+            )
         self._send_lrt(
-            m.addr, msg.QueueResetAck(m.addr, self.lcu_id, readers)
+            m.addr,
+            msg.QueueResetAck(m.addr, self.lcu_id, readers, survivor),
         )
 
     def _on_queue_probe(self, m: msg.QueueProbe) -> None:
         """Idle-queue watchdog asking whether the queue head node this
         LCU supposedly hosts is still alive.  'Alive' includes the two
         entry-less holding states: a deallocated uncontended owner
-        (held-generation record) and an FLT-parked lock."""
+        (held-generation record) and an FLT-parked lock.  ``holding``
+        additionally reports whether the node *owns* the lock right now
+        (ACQ/RCV or an invisible hold) — the lease watchdog only revokes
+        a silent queue whose probed head is alive but provably not
+        holding (a REL/WAIT remnant in front of a crashed middle node);
+        revoking a live holder could put two writers in the section."""
         key = (m.addr, m.tid)
-        alive = (
-            key in self._entries
-            or key in self._held_gen
+        e = self._entries.get(key)
+        held = (
+            key in self._held_gen
             or key in self._overflow_grants
             or (
                 self._flt.get(m.addr) is not None
                 and self._flt[m.addr][0] == m.tid
             )
         )
-        self._send_lrt(m.addr, msg.QueueProbeAck(m.addr, m.tid, alive))
+        alive = e is not None or held
+        holding = held or (e is not None and e.status in (ACQ, RCV))
+        self._send_lrt(
+            m.addr, msg.QueueProbeAck(m.addr, m.tid, alive, holding)
+        )
 
 
 # Message dispatch table: class-keyed lookup replaces the 12-branch

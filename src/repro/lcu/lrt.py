@@ -35,6 +35,20 @@ _FWD_RETRY_BACKOFF = 300      # cycles before re-sending a nacked forward
 _REMOTE_RETRY_BACKOFF = 300
 _REMOTE_RETRY_MAX = 12
 
+# Lease / revocation handshake (crash recovery, hardened mode).  A probe
+# that goes unanswered is retried with exponential backoff; after the cap
+# the probed head is declared dead and the queue is revoked.  A reclaim's
+# QueueReset broadcast is likewise re-sent to unresponsive LCUs, and
+# after the cap the reclaim completes with the survivors it heard from
+# (graceful degradation — unreachable in-model unless an LCU dies
+# *between* the broadcast and the crash notification).
+_PROBE_TIMEOUT = 2_000        # cycles before a probe retry
+_PROBE_TIMEOUT_CAP = 8_000
+_PROBE_MAX_ATTEMPTS = 3
+_RESET_RETRY_BACKOFF = 5_000  # cycles before re-broadcasting a reset
+_RESET_RETRY_CAP = 40_000
+_RESET_MAX_ATTEMPTS = 8
+
 
 class LrtEntry:
     """Lock state for one address (paper Figure 3, LRT side)."""
@@ -44,6 +58,8 @@ class LrtEntry:
         "reservation", "reservation_seq", "pending_ovf_writer",
         "priority_members", "priority_seq",
         "last_activity", "reclaim_gen", "reset_pending", "probing",
+        "lease_expiry", "probe_seq", "probe_attempts", "last_alive_probe",
+        "reset_seq", "reset_attempts", "reset_survivor",
     )
 
     def __init__(self, addr: int) -> None:
@@ -71,6 +87,22 @@ class LrtEntry:
         self.reclaim_gen = 0
         self.reset_pending: set = set()
         self.probing = False
+        # lease-based crash recovery: the deadline stamped on the last
+        # grant issued for this lock; probe retry bookkeeping (seq
+        # invalidates stale timeout events, attempts cap the retries);
+        # the snapshot of the last alive-but-not-holding probe answer
+        # (two identical snapshots a full silent window apart == the
+        # queue is wedged behind crashed state -> revoke); reset
+        # re-broadcast bookkeeping for the revocation handshake.
+        self.lease_expiry = 0
+        self.probe_seq = 0
+        self.probe_attempts = 0
+        self.last_alive_probe: Optional[tuple] = None
+        self.reset_seq = 0
+        self.reset_attempts = 0
+        # live writer reported by a QueueResetAck: re-seated as the new
+        # era's queue head when the reset completes (see _reset_complete)
+        self.reset_survivor: Optional[Who] = None
 
     @property
     def queue_empty(self) -> bool:
@@ -120,6 +152,11 @@ class LockReservationTable:
         self.hardened = False
         self._watchdog_interval = 0
         self._silence_threshold = 0
+        self._lease_cycles = 0
+        #: cores whose LCU has crashed (machine.crash_core notifies every
+        #: LRT synchronously): reclaims skip them in reset broadcasts,
+        #: and a queue whose head/tail lived there is revoked on the spot
+        self._dead_cores: set = set()
         self._reclaim_started: Dict[int, int] = {}
         #: addr -> last reclaim era.  LCUs filter dead-era traffic with a
         #: persistent per-addr fence, so the generation must stay
@@ -263,18 +300,61 @@ class LockReservationTable:
     # hardened mode: orphan detection and queue reclamation
 
     def harden(
-        self, watchdog_interval: int = 20_000, silence_threshold: int = 50_000
+        self,
+        watchdog_interval: int = 20_000,
+        silence_threshold: int = 50_000,
+        lease_cycles: Optional[int] = None,
     ) -> None:
         """Arm fault tolerance: tolerate the message anomalies the
         nemesis injects (stray releases, stale notifications, dead queue
         nodes) and run an idle-queue watchdog that probes queues silent
-        for ``silence_threshold`` cycles and reclaims orphans."""
+        for ``silence_threshold`` cycles and reclaims orphans.  Grants
+        issued while hardened carry a lease expiring ``lease_cycles``
+        after issue (default: the silence threshold); a queue that stays
+        silent past its lease with a head that is provably not holding
+        is revoked by the lease watchdog (crash recovery)."""
         if self.hardened:
             return
         self.hardened = True
         self._watchdog_interval = watchdog_interval
         self._silence_threshold = silence_threshold
+        self._lease_cycles = (
+            lease_cycles if lease_cycles is not None else silence_threshold
+        )
         self._sim.after(watchdog_interval, self._watchdog_tick)
+
+    def note_dead_core(self, core: int) -> None:
+        """Crash notification (machine.crash_core, synchronous): core
+        ``core``'s LCU died with all its state.  Revoke every queue that
+        runs through it — a head or tail homed there is gone, and grants
+        or forwards sent to it vanish — and stop waiting for its
+        acknowledgements in any in-flight revocation handshake."""
+        self._dead_cores.add(core)
+        self.stats["dead_core_notes"] = (
+            self.stats.get("dead_core_notes", 0) + 1
+        )
+        for store in list(self._sets.values()) + [self._overflow]:
+            for e in list(store.values()):
+                if core in e.reset_pending:
+                    e.reset_pending.discard(core)
+                    if not e.reset_pending:
+                        self._reset_complete(e)
+                if e.reservation is not None and e.reservation[1] == core:
+                    e.reservation = None
+                    e.reservation_seq += 1
+                if e.head is not None and (
+                    e.head.lcu == core
+                    or (e.tail is not None and e.tail.lcu == core)
+                ):
+                    self._reclaim(self._install(e.addr), "crash")
+                # A queue whose visible endpoints survive may still have
+                # *middle* nodes on the dead core (invisible to the LRT);
+                # that wedge is detected by the lease watchdog below.
+
+    def note_live_core(self, core: int) -> None:
+        """Rebirth notification (machine.restart_core): the core's LCU is
+        back — empty — and reset broadcasts include it again."""
+        self._dead_cores.discard(core)
 
     def _watchdog_tick(self) -> None:
         if not self.hardened:
@@ -287,24 +367,79 @@ class LockReservationTable:
                     and not e.reset_pending
                     and not e.probing
                     and now - e.last_activity >= self._silence_threshold
+                    and now >= e.lease_expiry
                 ):
+                    if e.head.lcu in self._dead_cores:
+                        # Head homed on a core known dead: no probe can
+                        # answer — revoke directly.
+                        self._reclaim(self._install(e.addr), "crash")
+                        continue
                     # Queue exists but nothing has touched it for a long
                     # time: ask the head's LCU whether the node is alive.
-                    e.probing = True
-                    self.stats["probes"] = self.stats.get("probes", 0) + 1
-                    self._send_lcu(
-                        e.head.lcu, msg.QueueProbe(e.addr, e.head.tid)
-                    )
+                    self._send_probe(e, 1)
         self._sim.after(self._watchdog_interval, self._watchdog_tick)
+
+    def _send_probe(self, e: LrtEntry, attempt: int) -> None:
+        e.probing = True
+        e.probe_attempts = attempt
+        e.probe_seq += 1
+        seq = e.probe_seq
+        addr = e.addr
+        self.stats["probes"] = self.stats.get("probes", 0) + 1
+        self._send_lcu(e.head.lcu, msg.QueueProbe(addr, e.head.tid))
+        delay = min(_PROBE_TIMEOUT << (attempt - 1), _PROBE_TIMEOUT_CAP)
+        self._sim.after(delay, lambda: self._probe_timeout(addr, seq))
+
+    def _probe_timeout(self, addr: int, seq: int) -> None:
+        """Capped-backoff retry of an unanswered liveness probe.  Probes
+        are only unanswerable when the probed LCU is dead (delivery is
+        otherwise reliable), so exhausting the cap declares the head
+        dead and revokes the queue."""
+        e = self.entry(addr)
+        if e is None or not e.probing or e.probe_seq != seq:
+            return
+        if e.head is None or e.reset_pending:
+            e.probing = False
+            return
+        if e.probe_attempts >= _PROBE_MAX_ATTEMPTS:
+            e.probing = False
+            self.stats["probe_timeouts"] = (
+                self.stats.get("probe_timeouts", 0) + 1
+            )
+            self._reclaim(self._install(addr), "lease")
+            return
+        self._send_probe(e, e.probe_attempts + 1)
 
     def _on_probe_ack(self, m: msg.QueueProbeAck) -> None:
         e = self.entry(m.addr)
         if e is None:
             return
         e.probing = False
-        if m.alive or e.head is None or e.head.tid != m.tid:
-            return  # healthy, or the queue moved on while we probed
-        self._reclaim(self._install(m.addr), "watchdog")
+        if e.head is None or e.head.tid != m.tid:
+            return  # the queue moved on while we probed
+        if not m.alive:
+            self._reclaim(self._install(m.addr), "watchdog")
+            return
+        if m.holding:
+            # A live holder inside a long critical section: silence is
+            # legitimate.  Wait for its release (or, if its thread died
+            # in a crash, for the purge that releases on its behalf).
+            e.last_alive_probe = None
+            return
+        # Alive but *not holding*: a REL/WAIT remnant at the recorded
+        # head.  Legal transiently (head notification lag) — but if a
+        # second full silent window passes with zero protocol traffic
+        # and an identical generation, the token is circling a node that
+        # died (crashed middle node): the lease is expired, revoke.
+        snap = (m.tid, e.head.lcu, e.gen)
+        if e.last_alive_probe == snap:
+            e.last_alive_probe = None
+            self.stats["lease_revocations"] = (
+                self.stats.get("lease_revocations", 0) + 1
+            )
+            self._reclaim(self._install(m.addr), "lease")
+            return
+        e.last_alive_probe = snap
 
     def _on_grant_nack(self, m: msg.GrantNack) -> None:
         """A grant hit a dead LCU entry.  If it carried the Head token,
@@ -341,9 +476,77 @@ class LockReservationTable:
         e.reservation_seq += 1
         e.priority_members.clear()
         e.probing = False
-        e.reset_pending = set(range(self._config.cores))
-        for lcu_id in range(self._config.cores):
+        e.last_alive_probe = None
+        # Broadcast only to live cores: a dead LCU can never ack, and
+        # waiting on it would wedge the reclaim forever.  (Its survivors
+        # are zero by definition — its state died with it.)
+        live = {
+            c for c in range(self._config.cores) if c not in self._dead_cores
+        }
+        e.reset_pending = set(live)
+        e.reset_seq += 1
+        e.reset_attempts = 0
+        e.reset_survivor = None
+        if not live:
+            self._reset_complete(e)
+            return
+        for lcu_id in live:
             self._send_lcu(lcu_id, msg.QueueReset(e.addr, e.gen))
+        self._sim.after(
+            _RESET_RETRY_BACKOFF,
+            lambda addr=e.addr, seq=e.reset_seq: self._reset_check(addr, seq),
+        )
+
+    def _reset_check(self, addr: int, seq: int) -> None:
+        """Revocation-handshake retry: re-broadcast ``QueueReset`` to the
+        LCUs that have not acknowledged, with capped exponential backoff.
+        Duplicates are idempotent at the LCU (the ack is dup-guarded here
+        by ``reset_pending`` membership).  After the attempt cap the
+        reclaim force-completes with the acks in hand — unreachable
+        in-model, kept as the documented graceful-degradation bound."""
+        e = self.entry(addr)
+        if e is None or e.reset_seq != seq or not e.reset_pending:
+            return
+        e.reset_attempts += 1
+        if e.reset_attempts >= _RESET_MAX_ATTEMPTS:
+            self.stats["reset_forced"] = self.stats.get("reset_forced", 0) + 1
+            e.reset_pending.clear()
+            self._reset_complete(e)
+            return
+        # A core may have died since the broadcast; stop waiting for it.
+        e.reset_pending -= self._dead_cores
+        if not e.reset_pending:
+            self._reset_complete(e)
+            return
+        self.stats["reset_rebroadcasts"] = (
+            self.stats.get("reset_rebroadcasts", 0) + len(e.reset_pending)
+        )
+        for lcu_id in e.reset_pending:
+            self._send_lcu(lcu_id, msg.QueueReset(addr, e.reclaim_gen))
+        delay = min(_RESET_RETRY_BACKOFF << e.reset_attempts, _RESET_RETRY_CAP)
+        self._sim.after(delay, lambda: self._reset_check(addr, seq))
+
+    def _reset_complete(self, e: LrtEntry) -> None:
+        """Every live LCU has acknowledged the reset (or the handshake
+        force-completed): the new era is open for business."""
+        started = self._reclaim_started.pop(e.addr, None)
+        if started is not None:
+            self.recovery_latencies.append(self._sim.now - started)
+        if e.reset_survivor is not None and e.head is None:
+            # A live writer survived the reclaim still owning the lock
+            # (the dead node was a tail or middle): re-seat it as the
+            # new era's head so requests enqueue behind it instead of
+            # being granted over a live write hold.  Fresh lease: the
+            # survivor starts a new observation window.
+            e.head = e.tail = e.reset_survivor
+            self._lease_stamp(e)
+            self.stats["reset_reseats"] = (
+                self.stats.get("reset_reseats", 0) + 1
+            )
+        e.reset_survivor = None
+        # Readers that survived the reset now gate the next writer
+        # through the ordinary overflow-drain machinery.
+        self._drained_check(e)
 
     def _on_reset_ack(self, m: msg.QueueResetAck) -> None:
         e = self.entry(m.addr)
@@ -351,13 +554,10 @@ class LockReservationTable:
             return
         e.reset_pending.discard(m.lcu)
         e.reader_cnt += m.readers
+        if m.writer_tid >= 0:
+            e.reset_survivor = Who(m.writer_tid, m.lcu, True)
         if not e.reset_pending:
-            started = self._reclaim_started.pop(m.addr, None)
-            if started is not None:
-                self.recovery_latencies.append(self._sim.now - started)
-            # Readers that survived the reset now gate the next writer
-            # through the ordinary overflow-drain machinery.
-            self._drained_check(e)
+            self._reset_complete(e)
 
     # ------------------------------------------------------------------ #
     # requests
@@ -371,7 +571,7 @@ class LockReservationTable:
             # Mid-reclaim: surviving reader counts are still being
             # collected, so a grant issued now could skip the overflow
             # drain.  Refuse; the software layer re-requests.
-            self._retry(req, m.addr)
+            self._retry(req, m.addr, m.seq)
             return
 
         if e is None:
@@ -389,7 +589,7 @@ class LockReservationTable:
         if holder is not None and holder != (req.tid, req.lcu):
             # A starving nonblocking entry holds a reservation: everyone
             # else is refused so the queue can drain (paper III-D).
-            self._retry(req, m.addr)
+            self._retry(req, m.addr, m.seq)
             return
 
         if e.queue_empty:
@@ -407,7 +607,7 @@ class LockReservationTable:
         if e.priority_members and not m.priority and not m.nonblocking:
             # A priority requestor is in the queue: hold ordinary
             # arrivals back until it has been served (they retry).
-            self._retry(req, m.addr)
+            self._retry(req, m.addr, m.seq)
             return
 
         if m.nonblocking:
@@ -428,10 +628,11 @@ class LockReservationTable:
                     msg.Grant(
                         m.addr, req.tid, head=False, gen=e.gen,
                         from_lrt=True, overflow=True,
+                        lease=self._lease_stamp(e),
                     ),
                 )
                 return
-            self._retry(req, m.addr)
+            self._retry(req, m.addr, m.seq)
             if e.reservation is None:
                 e.reservation = (req.tid, req.lcu)
                 e.reservation_seq += 1
@@ -463,11 +664,13 @@ class LockReservationTable:
             self._send_lcu(
                 req.lcu,
                 msg.Grant(m.addr, req.tid, head=False, gen=e.gen,
-                          from_lrt=True),
+                          from_lrt=True, lease=self._lease_stamp(e)),
             )
-        self._forward(e, m.addr, req)
+        self._forward(e, m.addr, req, m.seq)
 
-    def _forward(self, e: LrtEntry, addr: int, req: Who) -> None:
+    def _forward(
+        self, e: LrtEntry, addr: int, req: Who, req_seq: int = 0
+    ) -> None:
         assert e.tail is not None
         self.stats["forwards"] += 1
         self._observe("forward", addr, req.tid, req.write)
@@ -480,6 +683,7 @@ class LockReservationTable:
             req=req,
             gen=e.gen,
             confirm_required=bool(req.write and e.reader_cnt > 0),
+            req_seq=req_seq,
         )
         self._send_lcu(e.tail.lcu, fwd)
         e.tail = req
@@ -511,24 +715,37 @@ class LockReservationTable:
             e.priority_members.clear()
             self._finalize(e)
 
+    def _lease_stamp(self, e: LrtEntry) -> int:
+        """Lease deadline to stamp on a grant being issued now (0 when
+        not hardened: unleased).  Also pushes the entry's own expiry out,
+        so the lease watchdog never second-guesses a fresh grant."""
+        if not self.hardened:
+            return 0
+        lease = self._sim.now + self._lease_cycles
+        if lease > e.lease_expiry:
+            e.lease_expiry = lease
+        return lease
+
     def _grant(
         self, req: Who, addr: int, head: bool, gen: int, confirm: bool = False
     ) -> None:
         self.stats["grants"] += 1
         self._observe("grant", addr, req.tid, req.write)
         self._probe("grant_sent", addr, req.tid, req.write)
+        e = self.entry(addr)
+        lease = self._lease_stamp(e) if e is not None else 0
         self._send_lcu(
             req.lcu,
             msg.Grant(
                 addr, req.tid, head=head, gen=gen,
-                from_lrt=True, confirm_required=confirm,
+                from_lrt=True, confirm_required=confirm, lease=lease,
             ),
         )
 
-    def _retry(self, req: Who, addr: int) -> None:
+    def _retry(self, req: Who, addr: int, seq: int = 0) -> None:
         self.stats["retries"] += 1
         self._observe("retry", addr, req.tid, req.write)
-        self._send_lcu(req.lcu, msg.Retry(addr, req.tid))
+        self._send_lcu(req.lcu, msg.Retry(addr, req.tid, seq=seq))
 
     # ------------------------------------------------------------------ #
     # releases
@@ -553,6 +770,13 @@ class LockReservationTable:
             )
         e = self._install(m.addr)
         rel = m.rel
+
+        if e.reset_survivor is not None and e.reset_survivor.tid == rel.tid:
+            # The surviving writer a reset ack reported released while
+            # the handshake was still collecting: its hold is over, so
+            # it must not be re-seated as the new era's head (a stale
+            # re-seat self-links on its next request).
+            e.reset_survivor = None
 
         if m.overflow:
             if e.reader_cnt <= 0:

@@ -36,11 +36,21 @@ class Request:
     while priority requestors are outstanding, the LRT refuses new
     ordinary requests so the priority holder only waits for the queue
     that existed when it asked (bounded-jump priority).
+
+    ``seq`` identifies *this issue* of the request: the LCU bumps it
+    every time the thread (re-)requests, and the LRT echoes it on the
+    per-request replies (RETRY directly, WAIT via the forward).  Crash
+    reclamation can free a queue node while replies to it are still in
+    flight; when the thread immediately re-requests under the same
+    (addr, tid) key, the stale reply would otherwise bind to the *new*
+    entry.  ``seq=0`` is a wildcard that always matches (legacy senders
+    and tests).
     """
     addr: int
     req: Who
     nonblocking: bool = False
     priority: bool = False
+    seq: int = 0
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -59,6 +69,7 @@ class FwdRequest:
     req: Who
     gen: int
     confirm_required: bool = False
+    req_seq: int = 0        # echoed Request.seq (0 = wildcard)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -74,6 +85,7 @@ class WaitMsg:
     """tail LCU -> requestor LCU: you are enqueued (paper's WAIT)."""
     addr: int
     tid: int
+    seq: int = 0            # echoed Request.seq (0 = wildcard)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -89,6 +101,10 @@ class Grant:
     * ``overflow``   — an overflow-mode reader grant (no queue membership).
     * ``confirm_required`` — a granted writer must ask the LRT for
       ``OvfClear`` before acquiring (overflow readers may still hold).
+    * ``lease``      — absolute cycle the grant's lease expires at
+      (hardened mode; 0 = unleased).  Issued by the LRT with its grants;
+      the per-entry lease watchdog may revoke a queue whose lease has
+      expired with no observable progress (crash recovery).
     """
     addr: int
     tid: int
@@ -97,6 +113,7 @@ class Grant:
     from_lrt: bool = False
     overflow: bool = False
     confirm_required: bool = False
+    lease: int = 0
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -106,6 +123,7 @@ class Retry:
     software layer retries (paper's RETRY)."""
     addr: int
     tid: int
+    seq: int = 0            # echoed Request.seq (0 = wildcard)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -228,10 +246,15 @@ class QueueProbe:
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class QueueProbeAck:
-    """head LCU -> LRT: answer to a :class:`QueueProbe`."""
+    """head LCU -> LRT: answer to a :class:`QueueProbe`.  ``holding``
+    distinguishes a node that *owns* the lock right now (ACQ/RCV entry,
+    held-generation record, FLT park, overflow grant) from a mere
+    remnant (REL/WAIT): the lease watchdog may only revoke a silent
+    queue whose probed head is alive but not holding."""
     addr: int
     tid: int
     alive: bool
+    holding: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -251,7 +274,16 @@ class QueueResetAck:
     """LCU -> LRT: reply to a :class:`QueueReset` broadcast.  ``readers``
     is the number of live read holders this LCU converted to
     overflow-accounted mode; the LRT adds them to ``reader_cnt`` so the
-    post-reset queue's first writer waits for them to drain."""
+    post-reset queue's first writer waits for them to drain.
+
+    ``writer_tid`` (>= 0) reports a live *writer* that still owns the
+    lock at this LCU — an ACQ/RCV holder or an invisible held-generation
+    owner.  A reclaim is not only triggered by a dead head: a dead
+    *tail* or middle node orphans the queue just the same, and then the
+    era reset runs while the head legitimately holds.  The LRT re-seats
+    the reported writer as the new era's queue head so nothing is
+    granted over a live write hold."""
     addr: int
     lcu: int
     readers: int
+    writer_tid: int = -1

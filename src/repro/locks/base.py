@@ -123,6 +123,13 @@ class LockAlgorithm:
         """Allocate and initialise one lock; returns an opaque handle."""
         raise NotImplementedError
 
+    def on_crash(self, thread: SimThread) -> None:
+        """Crash-stop notification (fault injection): ``thread`` died.
+        Algorithms with host-side bookkeeping keyed by tid, or shared
+        words a dead thread would leave permanently skewed, override
+        this to perform the cleanup a robust-futex-style OS would do on
+        the thread's behalf.  Default: nothing to clean."""
+
     # -- operations (generator functions) --------------------------------- #
 
     def lock(self, thread: SimThread, handle: Any, write: bool) -> Generator:

@@ -77,6 +77,15 @@ class LcuFallbackLock(LockAlgorithm):
         # came through, so release undoes the right one
         self._path: Dict[Tuple[int, int], str] = {}
         self.degraded: Set[int] = set()
+        # crash-cleanup bookkeeping (see on_crash): which (addr, tid)
+        # pairs currently have a +1 announced on the count word, which
+        # tids are inside the software path (ticket drawn, not yet
+        # released — a crash there is unrecoverable and the injector's
+        # victim gate refuses it), and addr -> handle so cleanup can
+        # reach the shared words
+        self._announced: Set[Tuple[int, int]] = set()
+        self._sw_active: Set[int] = set()
+        self._handles: Dict[int, FallbackHandle] = {}
         self.stats: Dict[str, int] = {
             "hw_acquires": 0, "sw_acquires": 0, "degrades": 0,
             "backouts": 0,
@@ -84,13 +93,34 @@ class LcuFallbackLock(LockAlgorithm):
 
     def make_lock(self) -> FallbackHandle:
         alloc = self.machine.alloc
-        return FallbackHandle(
+        handle = FallbackHandle(
             addr=alloc.alloc_line(),
             mode=alloc.alloc_line(),
             count=alloc.alloc_line(),
             ticket_next=alloc.alloc_line(),
             ticket_owner=alloc.alloc_line(),
         )
+        self._handles[handle.addr] = handle
+        return handle
+
+    def on_crash(self, thread: SimThread) -> None:
+        """A crashed thread's LCU-side hold is released by the machine's
+        purge, but its ``count`` announce is a software word nothing
+        else retracts — a later degrader would drain against it forever.
+        Undo it on the dead thread's behalf (the robust-futex cleanup
+        the surviving OS performs).  Software-path holds are *not*
+        recoverable (a dead ticket holder wedges the chain); the victim
+        gate refuses such crashes, and a forced one (sabotage) is
+        exactly what the liveness oracle exists to catch."""
+        tid = thread.tid
+        self._sw_active.discard(tid)
+        for addr, tid_ in [k for k in self._announced if k[1] == tid]:
+            self._announced.discard((addr, tid_))
+            mem = self.machine.mem
+            count = self._handles[addr].count
+            mem.poke(count, mem.peek(count) - 1)
+        for key in [k for k in self._path if k[1] == tid]:
+            del self._path[key]
 
     # ------------------------------------------------------------------ #
 
@@ -108,10 +138,12 @@ class LcuFallbackLock(LockAlgorithm):
                 # Announce, then re-check: a degrader serialized between
                 # our mode load and here must see us (or we see it).
                 yield fetch_add(handle.count, 1)
+                self._announced.add((handle.addr, thread.tid))
                 mode = yield ops.Load(handle.mode)
                 if mode:
                     self.stats["backouts"] += 1
                     yield fetch_add(handle.count, -1)
+                    self._announced.discard((handle.addr, thread.tid))
                     yield from lcu_api.unlock(handle.addr, write)
                     yield from self._lock_sw(thread, handle)
                     return
@@ -141,6 +173,7 @@ class LcuFallbackLock(LockAlgorithm):
         self, thread: SimThread, handle: FallbackHandle
     ) -> Generator:
         """Degraded path: inner ticket mutex, then drain hw holders."""
+        self._sw_active.add(thread.tid)
         ticket = yield fetch_add(handle.ticket_next, 1)
         while True:
             owner = yield ops.Load(handle.ticket_owner)
@@ -165,6 +198,8 @@ class LcuFallbackLock(LockAlgorithm):
             # Retract the announce before returning the LCU lock, so a
             # draining degrader sees count reach zero promptly.
             yield fetch_add(handle.count, -1)
+            self._announced.discard((handle.addr, thread.tid))
             yield from lcu_api.unlock(handle.addr, write)
         else:
             yield fetch_add(handle.ticket_owner, 1)
+            self._sw_active.discard(thread.tid)

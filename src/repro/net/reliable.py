@@ -52,15 +52,28 @@ _PROTOCOL_MESSAGE_TYPES = tuple(
 
 @dataclasses.dataclass(frozen=True)
 class Frame:
-    """Wire envelope: ``seq`` within its (src, dst) pair, plus payload."""
+    """Wire envelope: ``seq`` within its (src, dst) pair, plus payload.
+
+    ``era`` is the pair's crash epoch: a core crash bumps the era of
+    every pair the core participates in (see :meth:`ReliableLayer.
+    bump_era`), restarting both sequence spaces at zero.  A frame whose
+    era does not match the receiver's current era was sent before the
+    crash — its sender's pending table is gone and its payload refers to
+    pre-crash protocol state — so it is dropped, never delivered or
+    acked.  This is what makes a restarted core's sequence numbers safe:
+    a stale ``seq=3`` from the old era can never be confused with the
+    fresh ``seq=3`` after rebirth."""
     seq: int
     payload: Any
+    era: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
 class AckFrame:
-    """Cumulative ack: every frame with ``seq < upto`` has been delivered."""
+    """Cumulative ack: every frame with ``seq < upto`` has been delivered.
+    Era-tagged like :class:`Frame`; a stale-era ack is ignored."""
     upto: int
+    era: int = 0
 
 
 class _Pending:
@@ -105,12 +118,15 @@ class ReliableLayer:
         self._pending: Dict[Pair, Dict[int, _Pending]] = {}
         self._recv_next: Dict[Pair, int] = {}
         self._holdback: Dict[Pair, Dict[int, Frame]] = {}
+        self._era: Dict[Pair, int] = {}
 
         self.frames_sent = 0
         self.acks_sent = 0
         self.retransmits = 0
         self.dups_suppressed = 0
         self.holdbacks = 0
+        self.era_bumps = 0
+        self.era_drops = 0
 
     # ------------------------------------------------------------------ #
 
@@ -147,8 +163,35 @@ class ReliableLayer:
             "retransmits": self.retransmits,
             "dups_suppressed": self.dups_suppressed,
             "holdbacks": self.holdbacks,
+            "era_bumps": self.era_bumps,
+            "era_drops": self.era_drops,
             "pending": self.pending_frames(),
         }
+
+    def bump_era(self, ep: Endpoint) -> int:
+        """Crash notification: endpoint ``ep`` died with all its frame
+        state.  Every pair it participates in (either direction) opens a
+        new era — pending frames are abandoned (their payloads refer to
+        pre-crash protocol state), both sequence spaces restart at zero,
+        and holdback frames from the old era are discarded.  In-flight
+        old-era frames and acks are dropped on arrival by the era check.
+        Returns the number of pairs bumped."""
+        pairs = set()
+        for table in (
+            self._send_seq, self._recv_next,
+            self._pending, self._holdback, self._era,
+        ):
+            for pair in table:
+                if ep in pair:
+                    pairs.add(pair)
+        for pair in pairs:
+            self._era[pair] = self._era.get(pair, 0) + 1
+            self._send_seq[pair] = 0
+            self._recv_next[pair] = 0
+            self._pending.pop(pair, None)
+            self._holdback.pop(pair, None)
+        self.era_bumps += 1
+        return len(pairs)
 
     # ------------------------------------------------------------------ #
     # sender side
@@ -172,7 +215,10 @@ class ReliableLayer:
             return
         pend.attempt += 1
         self.frames_sent += 1
-        self._net._inject(pair[0], pair[1], Frame(seq, pend.payload))
+        self._net._inject(
+            pair[0], pair[1],
+            Frame(seq, pend.payload, self._era.get(pair, 0)),
+        )
         rto = min(self._rto_base << (pend.attempt - 1), self._rto_cap)
         attempt = pend.attempt
         self._sim.after(rto, lambda: self._retransmit_check(pair, seq, attempt))
@@ -190,10 +236,20 @@ class ReliableLayer:
     def on_wire(self, src: Endpoint, dst: Endpoint, payload: Any) -> None:
         if isinstance(payload, AckFrame):
             # ack for the reverse direction: dst originally sent to src
+            if payload.era != self._era.get((dst, src), 0):
+                self.era_drops += 1
+                return
             self._on_ack((dst, src), payload.upto)
             return
         assert isinstance(payload, Frame)
         pair = (src, dst)
+        if payload.era != self._era.get(pair, 0):
+            # Pre-crash frame surfacing after the era bump: its payload
+            # belongs to protocol state that died with the crash.  Drop
+            # without acking — the old era's pending table is gone, so
+            # nothing is retransmitting it.
+            self.era_drops += 1
+            return
         expect = self._recv_next.get(pair, 0)
         if payload.seq < expect:
             self.dups_suppressed += 1
@@ -216,7 +272,10 @@ class ReliableLayer:
                 hb[payload.seq] = payload
                 self.holdbacks += 1
         self.acks_sent += 1
-        self._net._inject(dst, src, AckFrame(self._recv_next.get(pair, 0)))
+        self._net._inject(
+            dst, src,
+            AckFrame(self._recv_next.get(pair, 0), self._era.get(pair, 0)),
+        )
 
     def _deliver(self, pair: Pair, frame: Frame) -> None:
         src, dst = pair

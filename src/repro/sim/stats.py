@@ -142,7 +142,9 @@ def jain_fairness(values: Iterable[float]) -> float:
     sq = sum(v * v for v in vals)
     if sq == 0:
         return 1.0
-    return (s * s) / (len(vals) * sq)
+    # Cauchy-Schwarz guarantees (Σx)² ≤ n·Σx² exactly; float rounding can
+    # still nudge the quotient past 1.0, so clamp to the mathematical range.
+    return min(1.0, (s * s) / (len(vals) * sq))
 
 
 class Histogram:

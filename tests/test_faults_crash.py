@@ -1,0 +1,216 @@
+"""Crash-stop faults and lease-based recovery.
+
+Three layers of coverage:
+
+* OS / machine choreography — ``crash_core`` kills the right threads,
+  reports them to crash hooks, and ``restart_core`` returns the core to
+  service without resurrecting the dead.
+* The liveness oracle — recovered cells pass it, and a *sabotage* run
+  (``crash_policy="any"``, which removes the idle-victim gate so the
+  crash lands on a lock holder a software lock cannot recover from)
+  provably trips it: the silent hang surfaces as a structured
+  :class:`LivenessViolation` instead of a timed-out run.
+* The nemesis matrix — crash classes recover for every algorithm
+  family, the two known-degraded evict cells stay root-caused, and the
+  worker-pool fan-out is byte-identical to the serial run.
+"""
+
+import json
+
+import pytest
+
+from repro import Machine, OS, small_test_model
+from repro.check.fuzz import FuzzCase, run_case
+from repro.check.invariants import LivenessViolation
+from repro.cpu import ops
+from repro.cpu.os_sched import CRASHED, DONE
+from repro.faults.nemesis import classes_for, run_cell, run_matrix
+from repro.faults.plan import ALL_CLASSES, CRASH_CLASSES, generate_plan
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def m():
+    return Machine(small_test_model(), tiebreak_seed=1)
+
+
+def crash_plan(seed, *, classes=("crash_core",), horizon=12_000):
+    return generate_plan(seed=seed, classes=list(classes),
+                         horizon=horizon, cores=4)
+
+
+def crash_case(algo, seed, *, classes=("crash_core",), **overrides):
+    kw = dict(
+        algo=algo, model="A", seed=seed, threads=6, locks=1, iters=30,
+        write_pct=100, cs_cycles=400, think_cycles=20, cores=4,
+        tiebreak_seed=seed,
+        faults=crash_plan(seed, classes=classes).to_dict(),
+    )
+    kw.update(overrides)
+    return FuzzCase(**kw)
+
+
+class TestOsCrashStop:
+    def test_crash_kills_the_cores_thread_and_reports_it(self, m):
+        os_ = OS(m)
+        reported = []
+        os_.crash_hooks.append(lambda t: reported.append(t.tid))
+
+        def prog(thread):
+            yield ops.Compute(10_000)
+
+        threads = [os_.spawn(prog) for _ in range(m.config.cores)]
+        m.sim.at(500, lambda: os_.crash_core(0))
+        os_.run_all()
+        victims = [t for t in threads if t.state == CRASHED]
+        assert len(victims) == 1
+        assert reported == [victims[0].tid]
+        assert all(t.state == DONE for t in threads if t is not victims[0])
+
+    def test_extra_tids_die_wherever_they_run(self, m):
+        """The caller passes the tids whose lock state was homed on the
+        dead LCU — they die even if migration moved them elsewhere."""
+        os_ = OS(m)
+
+        def prog(thread):
+            yield ops.Compute(10_000)
+
+        threads = [os_.spawn(prog) for _ in range(m.config.cores)]
+        chosen = []
+
+        def crash():
+            # cores are assigned at dispatch, so pick the core-1 thread
+            # at crash time, not spawn time
+            migrant = next(t for t in threads if t.core == 1)
+            chosen.append(migrant)
+            os_.crash_core(0, extra_tids=(migrant.tid,))
+
+        m.sim.at(500, crash)
+        os_.run_all()
+        assert chosen[0].state == CRASHED
+        assert sum(t.state == CRASHED for t in threads) == 2
+
+    def test_crash_is_idempotent(self, m):
+        os_ = OS(m)
+
+        def prog(thread):
+            yield ops.Compute(2_000)
+
+        os_.spawn(prog)
+        m.sim.at(100, lambda: os_.crash_core(0))
+        os_.run_all()
+        assert os_.crash_core(0) == [], "second crash of a dead core"
+        assert os_.crashes == 1
+
+    def test_restart_returns_core_to_service_without_resurrection(self, m):
+        os_ = OS(m)
+
+        def prog(thread):
+            yield ops.Compute(1_000)
+
+        first = [os_.spawn(prog) for _ in range(m.config.cores)]
+        m.sim.at(100, lambda: os_.crash_core(0))
+        m.sim.at(200, lambda: os_.restart_core(0))
+        os_.run_all()
+        cores_used = set()
+
+        def late(thread):
+            yield ops.Compute(10)
+            cores_used.add(thread.core)
+
+        for _ in range(m.config.cores):
+            os_.spawn(late)
+        os_.run_all()
+        assert 0 in cores_used, "restarted core must run new threads"
+        dead = [t for t in first if t.state == CRASHED]
+        assert len(dead) == 1, "crash-stop: the killed thread stays dead"
+        assert not os_.restart_core(1), "restart of a live core is a no-op"
+
+
+class TestMachineCrash:
+    def test_crash_notifies_every_lrt_and_restart_rejoins(self, m):
+        m.harden()
+        homed = m.crash_core(0)
+        assert homed == set(), "idle LCU: no lock state was homed there"
+        for lrt in m.lrts:
+            assert 0 in lrt._dead_cores
+            assert lrt.stats["dead_core_notes"] >= 1
+        m.restart_core(0)
+        for lrt in m.lrts:
+            assert 0 not in lrt._dead_cores
+
+    def test_purge_dead_tids_noop_on_empty(self, m):
+        m.purge_dead_tids(set())
+        m.purge_dead_tids({99})  # unknown tid at idle LCUs: nothing to do
+
+
+class TestLivenessOracle:
+    def test_recovered_crash_run_passes_the_oracle(self):
+        # LCU lock, "busy" victim policy: the crash lands on live
+        # hardware lock state and the lease machinery must recover it
+        # within the liveness bound
+        outcome = run_case(crash_case("lcu", seed=0))
+        assert outcome.ok, outcome.summary()
+        assert outcome.total_cs > 0
+
+    def test_sabotage_trips_the_oracle(self):
+        """Remove the idle-victim gate and crash a software lock's
+        holder: MCS spins on the dead node forever.  The oracle must
+        convert that silent hang into a structured LivenessViolation —
+        this is the seeded deadlock the liveness bound exists to catch."""
+        outcome = run_case(crash_case("mcs", seed=0, crash_policy="any"))
+        assert not outcome.ok
+        assert isinstance(outcome.violation, LivenessViolation)
+        assert outcome.violation.invariant == "liveness"
+
+    def test_sabotage_violation_is_deterministic(self):
+        a = run_case(crash_case("mcs", seed=0, crash_policy="any"))
+        b = run_case(crash_case("mcs", seed=0, crash_policy="any"))
+        assert (not a.ok) and (not b.ok)
+        assert a.violation.time == b.violation.time
+        assert a.violation.message == b.violation.message
+
+    def test_unknown_crash_policy_rejected(self):
+        with pytest.raises(ValueError, match="crash_policy"):
+            run_case(crash_case("mcs", seed=0, crash_policy="volcano"))
+
+
+class TestCrashCells:
+    @pytest.mark.parametrize("algo", ["lcu", "lcu_fb", "mcs", "mrsw"])
+    @pytest.mark.parametrize("fault", list(CRASH_CLASSES))
+    def test_crash_cells_recover(self, algo, fault):
+        cell = run_cell(algo, "A", fault, seed=0)
+        assert cell.outcome in ("recovered", "degraded"), cell.detail
+        assert cell.injected >= 1, "the crash must actually land"
+
+    def test_crash_classes_are_universal(self):
+        assert set(CRASH_CLASSES) <= set(ALL_CLASSES)
+        for algo in ("lcu", "lcu_fb", "mcs", "clh", "ticket", "mrsw"):
+            assert set(CRASH_CLASSES) <= set(classes_for(algo, None))
+
+    def test_degraded_evict_cells_stay_root_caused(self):
+        """Regression for the two known-degraded matrix cells: forced
+        eviction of lcu_fb's own LCU entries makes the fallback lock
+        engage by design (that *is* the degradation path working), so
+        the cell must classify as degraded — never violated — and the
+        detail must carry the root cause."""
+        for model in ("A", "B"):
+            cell = run_cell("lcu_fb", model, "evict", seed=0)
+            assert cell.outcome == "degraded", cell.detail
+            assert "fallback lock engaged" in cell.detail
+            assert "(inherent under forced eviction)" in cell.detail
+
+
+class TestMatrixWorkers:
+    def test_worker_pool_report_is_byte_identical_to_serial(self):
+        kwargs = dict(
+            algos=("lcu", "mcs"), models=("A",),
+            classes=("crash_core", "drop"), seed=0,
+        )
+        serial = run_matrix(workers=0, **kwargs)
+        pooled = run_matrix(workers=2, **kwargs)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == \
+            json.dumps(pooled.to_dict(), sort_keys=True)
+        assert serial.ok, [c.detail for c in serial.violated()]
+        assert len(serial.cells) == 4

@@ -140,3 +140,15 @@ class TestCliVerb:
         code, out = self.run_cli("faults", "--classes", "gamma_ray")
         assert code == 2
         assert "unknown fault class" in out
+
+    def test_faults_verb_workers_matches_serial(self, tmp_path):
+        argv = ["faults", "--algos", "lcu", "--models", "A",
+                "--classes", "crash_core,preempt"]
+        serial, pooled = tmp_path / "serial.json", tmp_path / "pooled.json"
+        code, _ = self.run_cli(*argv, "--out", str(serial))
+        assert code == 0
+        code, _ = self.run_cli(*argv, "--workers", "2",
+                               "--out", str(pooled))
+        assert code == 0
+        assert serial.read_text() == pooled.read_text(), \
+            "worker fan-out must write a byte-identical report"

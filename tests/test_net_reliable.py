@@ -1,5 +1,7 @@
 """Unit tests for the reliable-delivery layer (frames, acks, RTO)."""
 
+import random
+
 import pytest
 
 from repro.lcu.messages import Dealloc, QueueProbe
@@ -201,7 +203,112 @@ class TestBackoff:
         assert set(s) == {
             "frames_sent", "acks_sent", "retransmits",
             "dups_suppressed", "holdbacks", "pending",
+            "era_bumps", "era_drops",
         }
+
+
+class TestDropStorm:
+    """Property tests under sustained seeded loss: whatever the storm
+    does, the channel must drain to zero pending with send order intact
+    and continuations run exactly once."""
+
+    @pytest.mark.parametrize("seed", [7, 99, 1234])
+    def test_storm_drains_in_order_exactly_once(self, seed):
+        sim, net = make_net()
+        layer = make_reliable(sim, net, rto_base=32, rto_cap=256)
+        got, cb = [], []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+        rng = random.Random(seed)
+
+        def storm(src, dst, payload):
+            # 70% loss on frames AND acks while the storm lasts, plus
+            # occasional duplication with a delayed second copy
+            if sim.now < 4_000:
+                r = rng.random()
+                if r < 0.7:
+                    return []
+                if r < 0.8:
+                    return [(0, payload), (rng.randrange(1, 200), payload)]
+            return [(0, payload)]
+
+        net.fault_filter = storm
+        msgs = [Dealloc(0x100, t) for t in range(12)]
+        for i, m in enumerate(msgs):
+            net.send(CORE0, CORE1, m,
+                     on_deliver=(lambda i=i: cb.append(i)))
+        sim.run()
+        assert got == msgs, "storm must not lose or reorder deliveries"
+        assert cb == sorted(cb) and len(cb) == len(set(cb)) == 12, \
+            "continuations must run exactly once, in order"
+        assert layer.pending_frames() == 0, "channel must drain"
+
+    def test_blackout_probes_flatten_at_rto_cap(self):
+        # a blackout much longer than log2(cap/base) doublings: the
+        # retransmit gap must flatten at the cap, not keep doubling
+        sim, net = make_net()
+        layer = make_reliable(sim, net, rto_base=16, rto_cap=128)
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: None)
+        times = []
+
+        def blackout(src, dst, payload):
+            if isinstance(payload, Frame):
+                times.append(sim.now)
+                if sim.now < 2_000:
+                    return []
+            return [(0, payload)]
+
+        net.fault_filter = blackout
+        net.send(CORE0, CORE1, Dealloc(0x100, 1))
+        sim.run()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == sorted(gaps), "RTO must be non-decreasing"
+        assert all(g <= 128 for g in gaps), "RTO must respect the cap"
+        assert gaps.count(128) >= 3, "long blackout must flatten at cap"
+        assert layer.pending_frames() == 0
+
+    def test_stale_era_frame_not_mistaken_for_new_era_dup(self):
+        """The seq/era hazard: after a crash the sequence space restarts
+        at zero, so a pre-crash frame with seq=0 carries the *same*
+        sequence number as the first post-crash frame.  The era tag —
+        not dup suppression — must reject it."""
+        sim, net = make_net()
+        layer = make_reliable(sim, net)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+        held = []
+
+        def capture(src, dst, payload):
+            if isinstance(payload, Frame) and not held:
+                held.append((src, dst, payload))
+            return [(0, payload)]
+
+        net.fault_filter = capture
+        m0 = Dealloc(0x100, 1)
+        net.send(CORE0, CORE1, m0)
+        sim.run()
+        assert got == [m0] and held
+
+        # CORE0 crashes: every pair it participates in opens a new era
+        assert layer.bump_era(CORE0) >= 1
+        net.fault_filter = None
+        m1 = Dealloc(0x200, 2)
+        net.send(CORE0, CORE1, m1)
+        sim.run()
+        assert got == [m0, m1], "new era restarts seq space cleanly"
+
+        # replay the captured pre-crash frame: same seq (0) as the
+        # post-crash frame just delivered, but stamped with the old era
+        dups, drops = layer.dups_suppressed, layer.era_drops
+        src, dst, frame = held[0]
+        net._inject(src, dst, frame)
+        sim.run()
+        assert got == [m0, m1], "stale-era frame must not deliver"
+        assert layer.era_drops == drops + 1
+        assert layer.dups_suppressed == dups, \
+            "must be rejected by era, not mis-acked as a duplicate"
 
 
 class TestDetach:
