@@ -29,15 +29,24 @@ Commands:
   worker processes and merge the per-shard telemetry into a single
   RunReport, byte-identical to the serial run (``--verify-serial``
   proves it).
+* ``fairness``    — the fairness scorecard: run the pinned
+  lock x model matrix under the fairness observatory and report the
+  Jain index, worst arrival-order overtake, writer share and p999
+  wait per cell; appends one record to ``BENCH_fairness.json``.
+  ``repro diff`` on two fairness trajectories gates on fairness
+  regressions (a Jain drop, a fatter overtake).
 
 The benchmark commands accept ``--metrics-out FILE`` (machine-readable
 run report), ``--trace-out FILE`` (Chrome trace-event JSON, loadable in
 Perfetto) and ``--sample-interval N`` (gauge time-series period in
 cycles); ``microbench`` and ``figure`` also take ``--profile`` to embed
-a profile section in the run report, and ``microbench``/``stm``/``app``
+a profile section in the run report, ``microbench``/``stm``/``app``
 take ``--host-prof`` to charge host nanoseconds to subsystems (the
-``host`` section of RunReport v3).  See README "Observability",
-"Profiling & regression gating" and "Host performance".
+``host`` section of RunReport v3), and ``microbench``/``figure``/
+``app`` take ``--fairness`` to attach the fairness observatory (the
+``fairness`` section of RunReport v4).  See README "Observability",
+"Profiling & regression gating", "Host performance" and "Fairness
+observatory".
 """
 
 from __future__ import annotations
@@ -167,8 +176,27 @@ def _host_setup(args):
     return HostProfiler()
 
 
+def _add_fairness_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fairness", action="store_true",
+        help="attach the fairness observatory (overtake ledger, wait "
+             "histograms, starvation watchdog); with --metrics-out, "
+             "embeds a 'fairness' section in the run report, otherwise "
+             "prints the per-lock digest",
+    )
+
+
+def _fairness_setup(args):
+    """A :class:`FairnessObservatory` when ``--fairness`` was given."""
+    if not getattr(args, "fairness", False):
+        return None
+    from repro.obs.fairness import FairnessObservatory
+
+    return FairnessObservatory()
+
+
 def _obs_emit(args, kind, config, result, registry, tracer,
-              profiler=None, host=None) -> None:
+              profiler=None, host=None, fairness=None) -> None:
     """Write the run report / trace files requested on the command line."""
     if registry is not None:
         results = (
@@ -179,6 +207,8 @@ def _obs_emit(args, kind, config, result, registry, tracer,
             kind, config, results, metrics=registry.to_dict(),
             profile=profiler.to_dict() if profiler is not None else None,
             host=host.to_dict() if host is not None else None,
+            fairness=(fairness.to_dict() if fairness is not None
+                      else None),
         )
         write_run_report(args.metrics_out, report)
         print(f"run report: {args.metrics_out}")
@@ -187,6 +217,9 @@ def _obs_emit(args, kind, config, result, registry, tracer,
             print(profiler.summarize())
         if host is not None:
             print(host.summarize())
+        if fairness is not None:
+            from repro.obs.fairness import summarize_fairness
+            print(summarize_fairness(fairness.to_dict()))
     if tracer is not None:
         tracer.write_chrome_trace(args.trace_out)
         print(f"chrome trace: {args.trace_out} "
@@ -213,12 +246,13 @@ def cmd_microbench(args) -> int:
     registry, tracer = _obs_setup(args)
     profiler = _profiler_setup(args)
     host = _host_setup(args)
+    fairness = _fairness_setup(args)
     r = run_microbench(
         config, args.lock, args.threads, args.write_pct,
         iters_per_thread=args.iters,
         registry=registry, tracer=tracer,
         sample_interval=args.sample_interval,
-        profiler=profiler, host_profiler=host,
+        profiler=profiler, host_profiler=host, fairness=fairness,
     )
     print(r)
     print(f"  fairness={r.fairness:.3f} acquire latency mean="
@@ -232,7 +266,7 @@ def cmd_microbench(args) -> int:
             "sample_interval": args.sample_interval,
             "machine": dataclasses.asdict(config),
         },
-        r, registry, tracer, profiler, host,
+        r, registry, tracer, profiler, host, fairness,
     )
     return 0
 
@@ -268,11 +302,12 @@ def cmd_app(args) -> int:
     config = _model(args.model)
     registry, tracer = _obs_setup(args)
     host = _host_setup(args)
+    fairness = _fairness_setup(args)
     r = run_app(config, args.name, args.lock,
                 threads=args.threads, seeds=list(range(1, args.seeds + 1)),
                 registry=registry, tracer=tracer,
                 sample_interval=args.sample_interval,
-                host_profiler=host)
+                host_profiler=host, fairness=fairness)
     print(r)
     _obs_emit(
         args, "app",
@@ -282,7 +317,7 @@ def cmd_app(args) -> int:
             "sample_interval": args.sample_interval,
             "machine": dataclasses.asdict(config),
         },
-        r, registry, tracer, host=host,
+        r, registry, tracer, host=host, fairness=fairness,
     )
     return 0
 
@@ -290,6 +325,7 @@ def cmd_app(args) -> int:
 def cmd_figure(args) -> int:
     registry, tracer = _obs_setup(args)
     profiler = _profiler_setup(args)
+    fairness = _fairness_setup(args)
     kwargs = dict(
         registry=registry, tracer=tracer,
         sample_interval=args.sample_interval,
@@ -301,6 +337,14 @@ def cmd_figure(args) -> int:
                   f"{args.name} is an STM/app figure", file=sys.stderr)
             return 2
         kwargs["profiler"] = profiler
+    if fairness is not None:
+        if args.name not in _PROFILABLE_FIGURES:
+            print(f"error: --fairness supports only "
+                  f"{sorted(_PROFILABLE_FIGURES)} (lock observer "
+                  f"events); {args.name} is an STM/app figure",
+                  file=sys.stderr)
+            return 2
+        kwargs["fairness"] = fairness
     result = _FIGURES[args.name](args.scale, **kwargs)
     print(result.text)
     _obs_emit(
@@ -315,7 +359,7 @@ def cmd_figure(args) -> int:
             "series": result.series,
             "checks": result.checks,
         },
-        registry, tracer, profiler,
+        registry, tracer, profiler, fairness=fairness,
     )
     if result.checks:
         ok = all(result.checks.values())
@@ -358,8 +402,13 @@ def cmd_report(args) -> int:
                   + f"): python {env.get('python', '?')} on "
                   f"{env.get('machine', '?')}, "
                   f"{env.get('cpu_count', '?')} CPUs")
-            for cell in last.get("cells", []):
-                print("  " + summarize_cell(cell))
+            from repro.obs.diff import is_fairness_record
+            if is_fairness_record(last):
+                from repro.harness.fairness_bench import scorecard_table
+                print(scorecard_table(last.get("cells", [])))
+            else:
+                for cell in last.get("cells", []):
+                    print("  " + summarize_cell(cell))
         return 0
     try:
         validate_run_report(report)
@@ -483,6 +532,46 @@ def cmd_diff(args) -> int:
             for key, old_v, new_v in env_mismatch:
                 print(f"  {key}: {old_v!r} -> {new_v!r}", file=sys.stderr)
     else:
+        from repro.obs.diff import diff_fairness_records, is_fairness_record
+
+        def _latest_fairness(obj):
+            return is_trajectory(obj) and is_fairness_record(
+                (obj.get("records") or [{}])[-1]
+            )
+
+        if _latest_fairness(old_obj) and _latest_fairness(new_obj):
+            # two fairness trajectories (BENCH_fairness.json): compare
+            # scorecard records — all simulated quantities, so the
+            # default 10% gate applies without host-noise caveats
+            try:
+                validate_trajectory(old_obj)
+                validate_trajectory(new_obj)
+                old_idx = (args.record - 1 if args.old == args.new
+                           else args.record)
+                old_rec = latest_record(old_obj, old_idx)
+                new_rec = latest_record(new_obj, args.record)
+            except HostProfileError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            d = diff_fairness_records(old_rec, new_rec,
+                                      threshold=threshold)
+            print(d.summarize(top=args.top))
+            if args.json_out:
+                with open(args.json_out, "w") as f:
+                    json.dump(d.to_dict(), f, indent=1, sort_keys=True)
+                    f.write("\n")
+                print(f"diff report: {args.json_out}")
+            if d.has_regressions():
+                if args.fail_on_regression:
+                    print(
+                        f"FAIL: {len(d.regressions)} fairness "
+                        f"regression(s) beyond {threshold:.0%}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(f"note: {len(d.regressions)} regression(s) found "
+                      f"(pass --fail-on-regression to gate)")
+            return 0
         reports = []
         for path, obj in zip((args.old, args.new), objs):
             if is_trajectory(obj):
@@ -599,6 +688,92 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fairness(args) -> int:
+    from repro.harness.fairness_bench import (
+        quick_matrix, run_fairness_bench, scorecard_matrix,
+        scorecard_table,
+    )
+    from repro.obs.diff import diff_fairness_records
+    from repro.obs.host import append_record, load_trajectory
+
+    known = sorted(all_algorithms())
+    locks = args.locks.split(",") if args.locks else None
+    for lock in locks or []:
+        if lock not in known:
+            print(f"unknown lock {lock!r} (known: {', '.join(known)})",
+                  file=sys.stderr)
+            return 2
+    models = args.models.split(",") if args.models else None
+    kwargs = {}
+    if locks:
+        kwargs["locks"] = tuple(locks)
+    if models:
+        kwargs["models"] = tuple(models)
+    if args.quick:
+        # quick keeps the full lock x model coverage (the scorecard is
+        # the point) and shrinks each cell instead
+        specs = quick_matrix(
+            write_pct=args.write_pct, seed=args.seed, **kwargs,
+        )
+    else:
+        specs = scorecard_matrix(
+            threads=args.threads, write_pct=args.write_pct,
+            duration=args.duration, seed=args.seed, **kwargs,
+        )
+
+    print(f"fairness scorecard: {len(specs)} cell(s), "
+          f"{specs[0]['threads']} threads, "
+          f"{specs[0]['write_pct']}% writers (fixed roles), "
+          f"{specs[0]['duration']} cycles")
+    record, _sections = run_fairness_bench(
+        specs, slo=args.slo, starvation_bound=args.starvation_bound,
+        label=args.label, note=args.note,
+        progress=lambda cell: print(
+            f"  {cell['lock']:7s} model {cell['model']}: "
+            f"jain={cell['jain']:.3f} max-ot={cell['max_overtake']} "
+            f"w-share={cell['writer_share']:.3f}"
+        ),
+    )
+    cells = record["cells"]
+    print()
+    print(scorecard_table(cells))
+    not_passive = [f"{c['lock']}/{c['model']}" for c in cells
+                   if not c["zero_overhead"]]
+    if not_passive:
+        print(f"WARNING: observatory changed simulated cycles in: "
+              f"{', '.join(not_passive)}", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(record, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"fairness record: {args.json_out}")
+
+    baseline = None
+    if args.fail_on_regression:
+        # gate against the latest record already in the trajectory
+        # (the one a labelled re-run would replace, or the previous run)
+        records = load_trajectory(args.out).get("records") or []
+        baseline = records[-1] if records else None
+    if args.no_append:
+        print(f"(trajectory {args.out} not touched: --no-append)")
+    else:
+        trajectory = append_record(args.out, record)
+        print(f"trajectory: {args.out} "
+              f"({len(trajectory['records'])} record(s))")
+    if args.fail_on_regression and baseline is not None:
+        d = diff_fairness_records(baseline, record,
+                                  threshold=args.threshold)
+        if d.has_regressions():
+            print(d.summarize(top=10))
+            print(f"FAIL: {len(d.regressions)} fairness regression(s) "
+                  f"beyond {args.threshold:.0%}", file=sys.stderr)
+            return 1
+        print("no fairness regressions vs previous record")
+    if not_passive:
+        return 1
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.harness.bench import default_matrix
     from repro.harness.parallel import (
@@ -639,9 +814,10 @@ def cmd_sweep(args) -> int:
               f"seed={payload['seed']}\t{r['cycles_per_cs']:.1f} cyc/CS "
               f"({r['total_cs']} CS in {r['elapsed']} cycles)")
 
-    report = run_sweep(specs, seeds, workers=workers, progress=progress)
+    report = run_sweep(specs, seeds, workers=workers, progress=progress,
+                       fairness=args.fairness)
     if args.verify_serial and workers >= 2:
-        serial = run_sweep(specs, seeds, workers=0)
+        serial = run_sweep(specs, seeds, workers=0, fairness=args.fairness)
         a = json.dumps(report, sort_keys=True)
         b = json.dumps(serial, sort_keys=True)
         if a != b:
@@ -790,6 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "--metrics-out, embeds a 'profile' section in "
                          "the run report, otherwise prints the summary")
     _add_host_flag(mb)
+    _add_fairness_flag(mb)
     mb.set_defaults(fn=cmd_microbench)
 
     st = sub.add_parser("stm")
@@ -815,6 +992,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--seeds", type=int, default=3)
     _add_obs_flags(ap)
     _add_host_flag(ap)
+    _add_fairness_flag(ap)
     ap.set_defaults(fn=cmd_app)
 
     fig = sub.add_parser("figure")
@@ -824,6 +1002,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--profile", action="store_true",
                     help="profile the first microbench run of the sweep "
                          "(fig9*/fig10* only)")
+    fig.add_argument("--fairness", action="store_true",
+                     help="attach the fairness observatory to the first "
+                          "microbench run of the sweep (fig9*/fig10* "
+                          "only)")
     fig.set_defaults(fn=cmd_figure)
 
     rp = sub.add_parser("report")
@@ -976,6 +1158,11 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--workers", type=int, default=None, metavar="N",
                     help="worker processes (default: core count; "
                          "0 or 1 = serial in-process)")
+    sw.add_argument("--fairness", action="store_true",
+                    help="attach a fairness observatory per shard and "
+                         "merge the fairness.* counters/histograms/"
+                         "watermarks into the report metrics (the "
+                         "merge is byte-identical for any --workers)")
     sw.add_argument("--verify-serial", action="store_true",
                     help="re-run the sweep serially and fail unless the "
                          "merged reports are byte-identical (the CI "
@@ -983,6 +1170,64 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--out", metavar="FILE", default=None,
                     help="write the merged RunReport JSON here")
     sw.set_defaults(fn=cmd_sweep)
+
+    fr = sub.add_parser(
+        "fairness",
+        help="fairness scorecard: run the pinned lock x model matrix "
+             "under the fairness observatory (Jain index, worst "
+             "overtake, writer share, p999 wait) and append one record "
+             "to a trajectory (BENCH_fairness.json)",
+    )
+    fr.add_argument("--quick", action="store_true",
+                    help="shrink every cell (fewer threads, shorter "
+                         "duration) while keeping the full lock x model "
+                         "coverage — the CI smoke configuration")
+    fr.add_argument("--locks", default=None, metavar="CSV",
+                    help="comma-separated lock list (default: "
+                         "lcu,lcu_fb,ssb,mcs,ticket,mrsw,tatas)")
+    fr.add_argument("--models", default=None, metavar="CSV",
+                    help="comma-separated model list (default: A,B)")
+    fr.add_argument("--threads", type=int, default=12,
+                    help="threads per cell (default 12; 8 with --quick)")
+    fr.add_argument("--write-pct", type=int, default=20,
+                    help="writer share of the fixed role split "
+                         "(default 20%% — writer minority)")
+    fr.add_argument("--duration", type=int, default=120_000,
+                    help="simulated cycles per cell (default 120000; "
+                         "40000 with --quick)")
+    fr.add_argument("--seed", type=int, default=1)
+    fr.add_argument("--slo", type=int, default=None, metavar="CYCLES",
+                    help="per-acquire latency target; cells report SLO "
+                         "violations and time-in-violation")
+    fr.add_argument("--starvation-bound", type=int, default=100_000,
+                    metavar="CYCLES",
+                    help="watchdog alert threshold: a waiter older than "
+                         "this raises a StarvationAlert (default "
+                         "100000)")
+    fr.add_argument("--threshold", type=float, default=0.10,
+                    metavar="FRACTION",
+                    help="relative-change gate for "
+                         "--fail-on-regression (default 0.10)")
+    fr.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 if any scorecard quantity regressed "
+                         "beyond --threshold vs the trajectory's "
+                         "latest record (or if the observatory "
+                         "perturbed simulated cycles)")
+    fr.add_argument("--out", metavar="FILE",
+                    default="BENCH_fairness.json",
+                    help="trajectory file to append to "
+                         "(default: BENCH_fairness.json)")
+    fr.add_argument("--label", default=None,
+                    help="record label; appending an existing label "
+                         "replaces that record (idempotent re-runs)")
+    fr.add_argument("--note", default=None,
+                    help="free-form note stored in the record")
+    fr.add_argument("--no-append", action="store_true",
+                    help="don't touch the trajectory (use with "
+                         "--json-out for throwaway runs)")
+    fr.add_argument("--json-out", metavar="FILE", default=None,
+                    help="also write this run's single record here")
+    fr.set_defaults(fn=cmd_fairness)
 
     ck = sub.add_parser(
         "check",

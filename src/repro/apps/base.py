@@ -87,6 +87,7 @@ def run_app(
     tracer=None,
     sample_interval: int = 0,
     host_profiler=None,
+    fairness=None,
 ) -> AppResult:
     """Run one app kernel under one lock model, averaged over seeds.
 
@@ -94,7 +95,11 @@ def run_app(
     ``tracer`` records message spans for the *first* seed only (one
     coherent timeline beats three overlaid ones); ``host_profiler``
     accumulates host-time attribution across *all* seeds (it re-attaches
-    to each seed's fresh simulator)."""
+    to each seed's fresh simulator); ``fairness`` (a
+    :class:`repro.obs.fairness.FairnessObservatory`) observes the
+    *first* seed only — arrival order is only meaningful within one
+    machine, and each seed allocates fresh (colliding) lock
+    addresses."""
     try:
         app_cls = _APPS[app_name]
     except KeyError:
@@ -113,6 +118,14 @@ def run_app(
         run_tracer = tracer if run_idx == 0 else None
         if run_tracer is not None:
             run_tracer.attach(machine)
+        run_fairness = fairness if run_idx == 0 else None
+        if run_fairness is not None:
+            # after the tracer: its flight-recorder ring wraps net.send
+            # on top and finish_run unwinds LIFO
+            run_fairness.attach_machine(machine)
+            run_fairness.attach_algorithm(algo)
+            if registry is not None:
+                run_fairness.attach_registry(registry)
         if host_profiler is not None:
             host_profiler.attach(machine.sim)
         for i in range(threads):
@@ -122,7 +135,7 @@ def run_app(
         elapsed = os_.run_all(max_cycles=max_cycles)
         acc.add(elapsed)
         finish_run(machine, registry, run_tracer,
-                   host_profiler=host_profiler)
+                   host_profiler=host_profiler, fairness=run_fairness)
     return AppResult(
         app=app_name,
         lock=lock_name,

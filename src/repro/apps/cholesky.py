@@ -34,17 +34,17 @@ class Cholesky(AppKernel):
         rng = random.Random(self.seed * 887 + index)
         algo = self.algo
         while True:
-            yield from algo.lock(thread, self.queue_lock, True)
+            yield from algo.acquire(thread, self.queue_lock, True)
             n = yield ops.Load(self.queue_len)
             if n > 0:
                 yield ops.Store(self.queue_len, n - 1)
-            yield from algo.unlock(thread, self.queue_lock, True)
+            yield from algo.release(thread, self.queue_lock, True)
             if n <= 0:
                 return
             # the numeric task itself (dwarfs the locking)
             yield ops.Compute(rng.randint(*self.TASK_COMPUTE))
             if rng.random() < self.SPAWN_PROB:
-                yield from algo.lock(thread, self.queue_lock, True)
+                yield from algo.acquire(thread, self.queue_lock, True)
                 cur = yield ops.Load(self.queue_len)
                 yield ops.Store(self.queue_len, cur + 1)
-                yield from algo.unlock(thread, self.queue_lock, True)
+                yield from algo.release(thread, self.queue_lock, True)

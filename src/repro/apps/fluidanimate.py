@@ -55,11 +55,11 @@ class Fluidanimate(AppKernel):
                     if 0 <= ny < rows:
                         targets.append(self._cell(x, ny))
                     for c in sorted(targets):
-                        yield from algo.lock(thread, self.cell_locks[c], True)
+                        yield from algo.acquire(thread, self.cell_locks[c], True)
                         v = yield ops.Load(self.cell_values[c])
                         yield ops.Compute(self.CS_COMPUTE)
                         yield ops.Store(self.cell_values[c], v + 1)
-                        yield from algo.unlock(
+                        yield from algo.release(
                             thread, self.cell_locks[c], True
                         )
                     yield ops.Compute(self.BETWEEN)

@@ -46,11 +46,11 @@ class Radiosity(AppKernel):
 
         while True:
             # fast path: pop from the private queue (the biased pattern)
-            yield from algo.lock(thread, my_lock, True)
+            yield from algo.acquire(thread, my_lock, True)
             n = yield ops.Load(my_len)
             if n > 0:
                 yield ops.Store(my_len, n - 1)
-            yield from algo.unlock(thread, my_lock, True)
+            yield from algo.release(thread, my_lock, True)
             if n > 0:
                 yield ops.Compute(rng.randint(*self.TASK_COMPUTE))
                 continue
@@ -58,21 +58,21 @@ class Radiosity(AppKernel):
             stolen = 0
             victim = rng.randrange(self.threads)
             if victim != index:
-                yield from algo.lock(
+                yield from algo.acquire(
                     thread, self.queue_locks[victim], True
                 )
                 vn = yield ops.Load(self.queue_lens[victim])
                 stolen = min(self.STEAL_BATCH, vn)
                 if stolen:
                     yield ops.Store(self.queue_lens[victim], vn - stolen)
-                yield from algo.unlock(
+                yield from algo.release(
                     thread, self.queue_locks[victim], True
                 )
             if stolen == 0:
                 # one failed steal round ends the thread (load imbalance
                 # tail is not the point of the kernel)
                 return
-            yield from algo.lock(thread, my_lock, True)
+            yield from algo.acquire(thread, my_lock, True)
             cur = yield ops.Load(my_len)
             yield ops.Store(my_len, cur + stolen)
-            yield from algo.unlock(thread, my_lock, True)
+            yield from algo.release(thread, my_lock, True)

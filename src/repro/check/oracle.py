@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.fairness import OvertakeLedger
+
 
 class RWLockOracle:
     """Cross-check observed acquisition orders of one lock.
@@ -58,11 +60,25 @@ class RWLockOracle:
         # tid -> write (re-entrant holds are not modelled; the harnesses
         # never hold one lock twice from one thread)
         self.holders: Dict[int, bool] = {}
-        # tid -> how many later arrivals acquired while tid kept waiting
-        self.overtaken: Dict[int, int] = {}
+        # arrival-vs-grant accounting is delegated to the shared
+        # OvertakeLedger (the same implementation the fairness
+        # observatory measures with), run *without* the reader-batch
+        # exemption: the oracle's historical budget is deliberately
+        # loose enough to absorb legal read-sharing, and keeping the
+        # exemption off keeps its verdicts byte-identical
+        self.ledger = OvertakeLedger(reader_batch_exempt=False)
         self.timeout_credits = 0
-        self.max_overtake = 0
         self._tids_seen: set = set()
+
+    @property
+    def overtaken(self) -> Dict[int, int]:
+        """tid -> how many later arrivals acquired while tid kept
+        waiting (live view of the ledger's per-request counts)."""
+        return self.ledger.counts
+
+    @property
+    def max_overtake(self) -> int:
+        return self.ledger.max_overtake
 
     # ------------------------------------------------------------------ #
 
@@ -100,7 +116,7 @@ class RWLockOracle:
             )
         self._seq += 1
         self.waiting[tid] = (self._seq, write, now)
-        self.overtaken.setdefault(tid, 0)
+        self.ledger.note_request(tid)
 
     def acquire(self, tid: int, write: bool, now: int,
                 excused: Optional[set] = None) -> None:
@@ -128,27 +144,24 @@ class RWLockOracle:
         if tid in self.holders:
             self._violate(f"tid {tid} double-acquired at t={now}")
         self.holders[tid] = write
-        self.overtaken.pop(tid, None)
+        self.ledger.clear(tid)
         # fairness: everyone who arrived earlier and is still waiting has
-        # been overtaken once more
+        # been overtaken once more (waiters frozen by an injected core
+        # stall are ``excused``: they cannot consume a grant, so passing
+        # one is the designed behaviour, not an overtake)
         if self.fair:
-            for other, (oseq, _w, _t) in self.waiting.items():
-                if oseq < seq:
-                    if excused is not None and other in excused:
-                        # the waiter is frozen by an injected core stall:
-                        # it cannot consume a grant, so passing it is the
-                        # designed behaviour, not an overtake
-                        continue
-                    count = self.overtaken.get(other, 0) + 1
-                    self.overtaken[other] = count
-                    if count > self.max_overtake:
-                        self.max_overtake = count
-                    if count > self._bound():
-                        self._violate(
-                            f"tid {other} overtaken {count}x "
-                            f"(bound {self._bound()}) — last by tid {tid} "
-                            f"at t={now}"
-                        )
+            increments = self.ledger.note_grant(
+                tid, seq, write,
+                [(o, oseq, w) for o, (oseq, w, _t) in self.waiting.items()],
+                excused=excused,
+            )
+            for other, count in increments:
+                if count > self._bound():
+                    self._violate(
+                        f"tid {other} overtaken {count}x "
+                        f"(bound {self._bound()}) — last by tid {tid} "
+                        f"at t={now}"
+                    )
 
     def release(self, tid: int, write: bool, now: int) -> None:
         held = self.holders.pop(tid, None)
@@ -164,7 +177,7 @@ class RWLockOracle:
         """A trylock gave up: the waiter legally leaves the queue."""
         if self.waiting.pop(tid, None) is None:
             self._violate(f"tid {tid} abandoned at t={now} without a request")
-        self.overtaken.pop(tid, None)
+        self.ledger.clear(tid)
 
     def crash(self, tid: int, now: int) -> None:
         """The thread died in an injected crash-stop fault: its hold
@@ -174,7 +187,7 @@ class RWLockOracle:
         anything: crash recovery is the machinery under test."""
         self.holders.pop(tid, None)
         self.waiting.pop(tid, None)
-        self.overtaken.pop(tid, None)
+        self.ledger.clear(tid)
 
     def grant_timeout(self) -> None:
         """The hardware grant timer skipped an absent waiter; later

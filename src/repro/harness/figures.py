@@ -70,12 +70,14 @@ def figure9(
     tracer=None,
     sample_interval: int = 0,
     profiler=None,
+    fairness=None,
 ) -> FigureResult:
     """CS execution time including lock transfer, LCU vs SSB (Fig 9)."""
     series: Dict[str, List[float]] = {}
     hub_util: Dict[str, float] = {}
     take_tracer = _trace_once(tracer)
     take_profiler = _trace_once(profiler)
+    take_fairness = _trace_once(fairness)
     for lock in locks:
         for w in write_ratios:
             key = f"{lock}-{w}%w"
@@ -87,6 +89,7 @@ def figure9(
                     registry=registry, tracer=take_tracer(),
                     sample_interval=sample_interval,
                     profiler=take_profiler(),
+                    fairness=take_fairness(),
                 )
                 vals.append(r.cycles_per_cs)
                 hub_util[key] = r.hub_utilisation
@@ -121,6 +124,7 @@ def figure10(
     tracer=None,
     sample_interval: int = 0,
     profiler=None,
+    fairness=None,
 ) -> FigureResult:
     """CS execution time, LCU vs software locks (Fig 10).  Thread counts
     above 32 oversubscribe the cores and expose the queue-lock
@@ -129,6 +133,7 @@ def figure10(
     series: Dict[str, List[float]] = {}
     take_tracer = _trace_once(tracer)
     take_profiler = _trace_once(profiler)
+    take_fairness = _trace_once(fairness)
     for lock in locks:
         ratios = write_ratios if lock in ("lcu", "mrsw", "ssb") else (100,)
         for w in ratios:
@@ -148,6 +153,7 @@ def figure10(
                     registry=registry, tracer=take_tracer(),
                     sample_interval=sample_interval,
                     profiler=take_profiler(),
+                    fairness=take_fairness(),
                 )
                 vals.append(r.cycles_per_cs)
             series[key] = vals

@@ -75,6 +75,7 @@ def run_microbench(
     sample_interval: int = 0,
     profiler=None,
     host_profiler=None,
+    fairness=None,
 ) -> MicrobenchResult:
     """Run the single-lock critical-section benchmark.
 
@@ -91,8 +92,12 @@ def run_microbench(
     latency to protocol phases via hardware probes; ``host_profiler``
     (a :class:`repro.obs.host.HostProfiler`) routes the engine through
     its instrumented dispatch loop, charging *host* nanoseconds to
-    subsystems (``--host-prof``).  All default to off and cost nothing
-    when absent.
+    subsystems (``--host-prof``); ``fairness`` (a
+    :class:`repro.obs.fairness.FairnessObservatory`) keeps the
+    arrival-vs-grant overtake ledger, per-mode wait histograms,
+    starvation watchdog and SLO clock (``--fairness``).  All default to
+    off and cost nothing when absent — and none of them changes
+    simulated cycle counts when present.
     """
     if mode not in ("iterations", "duration"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -108,6 +113,13 @@ def run_microbench(
     if profiler is not None:
         profiler.attach_machine(machine)
         profiler.attach_algorithm(algo)
+    if fairness is not None:
+        # after the tracer: the observatory's flight-recorder ring wraps
+        # net.send on top and finish_run detaches it first (LIFO)
+        fairness.attach_machine(machine)
+        fairness.attach_algorithm(algo)
+        if registry is not None:
+            fairness.attach_registry(registry)
     if host_profiler is not None:
         host_profiler.attach(machine.sim)
 
@@ -116,6 +128,10 @@ def run_microbench(
     reader_cs = [0]
     acquire_lat = Histogram(bucket_width=32)
     n_writers = round(threads * write_pct / 100.0)
+    # both the profiler and the fairness observatory listen on the
+    # observed wrappers; either one being attached routes lock ops
+    # through them (same instants, same simulated cycles)
+    observed = profiler is not None or fairness is not None
 
     def worker_factory(index: int):
         def worker(thread):
@@ -133,7 +149,7 @@ def run_microbench(
                     sid = tracer.begin(
                         "acquire", cat="lock", track=track, write=write
                     )
-                if profiler is not None:
+                if observed:
                     # observed wrappers fire at the same instants as the
                     # t0 capture / histogram add (no yields in between),
                     # so profiled latency == measured latency exactly
@@ -145,7 +161,7 @@ def run_microbench(
                     tracer.end(sid)
                     sid = tracer.begin("cs", cat="lock", track=track)
                 yield ops.Compute(cs_cycles)
-                if profiler is not None:
+                if observed:
                     yield from algo.release(thread, handle, write)
                 else:
                     yield from algo.unlock(thread, handle, write)
@@ -187,7 +203,18 @@ def run_microbench(
             "bench.acquire_latency", bucket_width=acquire_lat.bucket_width
         ).merge(acquire_lat)
     finish_run(machine, registry, tracer, profiler=profiler,
-               host_profiler=host_profiler)
+               host_profiler=host_profiler, fairness=fairness)
+    # the Jain index: observatory-backed when attached (the one shared
+    # ledger implementation), computed from per-thread grant counts
+    # either way — both paths agree by construction
+    if fairness is not None:
+        fair_summary = fairness.lock_summary(algo.lock_id(handle))
+    else:
+        fair_summary = None
+    fairness_index = (
+        fair_summary["jain"] if fair_summary is not None
+        else jain_fairness(per_thread_cs)
+    )
     return MicrobenchResult(
         lock=lock_name,
         model=config.name,
@@ -198,7 +225,7 @@ def run_microbench(
         cycles_per_cs=elapsed / total if total else float("inf"),
         acquire_latency_mean=acquire_lat.acc.mean,
         per_thread_cs=per_thread_cs,
-        fairness=jain_fairness(per_thread_cs),
+        fairness=fairness_index,
         hub_utilisation=machine.net.hub_utilisation(),
         writer_cs=writer_cs[0],
         reader_cs=reader_cs[0],

@@ -32,6 +32,7 @@ state and is unavailable on some platforms anyway).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import multiprocessing
 import os
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -55,16 +56,26 @@ def sweep_shards(
     return [(spec, seed) for spec in specs for seed in seeds]
 
 
-def _run_shard(shard: Tuple[BenchCellSpec, int]) -> Dict[str, Any]:
+def _run_shard(shard: Tuple[BenchCellSpec, int],
+               fairness: bool = False) -> Dict[str, Any]:
     """Run one (cell, seed) shard in full isolation and return plain
     data: the microbench result fields plus an exact-state registry
     dump.  Module-level (and argument-picklable) so ``Pool.map`` can
-    ship it to spawn-started workers."""
+    ship it to spawn-started workers.  With ``fairness`` each shard
+    attaches a fresh :class:`~repro.obs.fairness.FairnessObservatory`
+    and publishes its ledger into the registry — counters add, wait
+    histograms bucket-merge and watermark gauges keep their max across
+    shards, so the merged report carries sweep-wide fairness data."""
     spec, seed = shard
     registry = MetricsRegistry()
+    observatory = None
+    if fairness:
+        from repro.obs.fairness import FairnessObservatory
+        observatory = FairnessObservatory()
     result = run_microbench(
         _config(spec.model), spec.lock, spec.threads, spec.write_pct,
         iters_per_thread=spec.iters, seed=seed, registry=registry,
+        fairness=observatory,
     )
     return {
         "spec": dataclasses.asdict(spec),
@@ -116,6 +127,7 @@ def run_sweep(
     seeds: Iterable[int] = (1,),
     workers: int = 0,
     progress=None,
+    fairness: bool = False,
 ) -> Dict[str, Any]:
     """Run the full sweep and return the merged RunReport dict.
 
@@ -123,17 +135,22 @@ def run_sweep(
     path); ``workers >= 2`` shards across a spawn-context pool.  Both
     paths produce byte-identical reports.  ``progress``, if given, is
     called with each shard payload as it is merged (spec order).
+    ``fairness`` attaches a fairness observatory to every shard (see
+    :func:`_run_shard`); the flag changes telemetry only, never
+    simulated cycles, and the byte-identity contract holds for any
+    worker count either way.
     """
     shards = sweep_shards(specs, seeds)
     if not shards:
         raise ValueError("sweep needs at least one (cell, seed) shard")
+    run_one = functools.partial(_run_shard, fairness=fairness)
     if workers >= 2:
         ctx = multiprocessing.get_context("spawn")
         nproc = min(workers, len(shards))
         with ctx.Pool(processes=nproc) as pool:
-            payloads = pool.map(_run_shard, shards)
+            payloads = pool.map(run_one, shards)
     else:
-        payloads = [_run_shard(s) for s in shards]
+        payloads = [run_one(s) for s in shards]
     if progress is not None:
         for p in payloads:
             progress(p)

@@ -128,9 +128,18 @@ class LcuFallbackLock(LockAlgorithm):
         self, thread: SimThread, handle: FallbackHandle, write: bool
     ) -> Generator:
         alloc_fails = 0
+        enqueued = False
+
+        def note_enqueued():
+            nonlocal enqueued
+            if not enqueued:
+                enqueued = True
+                self.notify("enqueued", thread, handle, write)
+
         while True:
             mode = yield ops.Load(handle.mode)
             if mode:
+                note_enqueued()   # joining the software ticket queue
                 yield from self._lock_sw(thread, handle)
                 return
             ok = yield ops.LcuAcq(handle.addr, write)
@@ -145,6 +154,7 @@ class LcuFallbackLock(LockAlgorithm):
                     yield fetch_add(handle.count, -1)
                     self._announced.discard((handle.addr, thread.tid))
                     yield from lcu_api.unlock(handle.addr, write)
+                    note_enqueued()   # backed out into the sw queue
                     yield from self._lock_sw(thread, handle)
                     return
                 self._path[(handle.addr, thread.tid)] = "hw"
@@ -163,10 +173,12 @@ class LcuFallbackLock(LockAlgorithm):
                     yield swap(handle.mode, 1)
                     self.stats["degrades"] += 1
                     self.degraded.add(handle.addr)
+                    note_enqueued()
                     yield from self._lock_sw(thread, handle)
                     return
             else:
                 alloc_fails = 0
+            note_enqueued()   # queued in the LCU (or spinning on a slot)
             yield ops.LcuWait(handle.addr, timeout=_SPIN_RECHECK)
 
     def _lock_sw(

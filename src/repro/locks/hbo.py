@@ -60,11 +60,16 @@ class HboLock(LockAlgorithm):
     def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
         cfg = self.machine.config
         last_holder_chip = None   # refreshed from every observed value
+        contended = False
         while True:
             assert thread.core is not None
             my_chip = cfg.chip_of_core(thread.core)
             v = yield ops.Load(handle)
             if v != 0:
+                if not contended:
+                    # observed a holder: joined the contention set
+                    contended = True
+                    self.notify("enqueued", thread, handle, write)
                 last_holder_chip = v - 1
                 yield ops.WaitLine(handle, v)
                 if last_holder_chip != my_chip:
@@ -80,6 +85,9 @@ class HboLock(LockAlgorithm):
             )
             if old == 0:
                 return
+            if not contended:
+                contended = True
+                self.notify("enqueued", thread, handle, write)
             last_holder_chip = old - 1
 
             yield ops.Compute(

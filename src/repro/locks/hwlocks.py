@@ -36,7 +36,18 @@ class LcuRwLock(LockAlgorithm):
         return self.machine.alloc.alloc_line()
 
     def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
-        yield from lcu_api.lock(handle, write)
+        # open-coded lcu_api.lock so the first *unsuccessful* acq — the
+        # moment the request is enqueued in LCU/LRT hardware — can fire
+        # the "enqueued" observer event (an immediate grant never waits)
+        first = True
+        while True:
+            ok = yield ops.LcuAcq(handle, write, False)
+            if ok:
+                return
+            if first:
+                first = False
+                self.notify("enqueued", thread, handle, write)
+            yield ops.LcuWait(handle, timeout=lcu_api._SPIN_RECHECK)
 
     def trylock(
         self, thread: SimThread, handle: int, write: bool, retries: int = 16
@@ -73,6 +84,10 @@ class SsbLock(LockAlgorithm):
             ok = yield ops.SsbAcq(handle, write)
             if ok:
                 return
+            if attempt == 0:
+                # first remote denial: the thread joined the retry set
+                # (the SSB has no queue — this *is* its wait state)
+                self.notify("enqueued", thread, handle, write)
             attempt += 1
             # deterministic jitter decorrelates the retry storm a little
             yield ops.Compute(self.retry_backoff + (attempt % 7) * 20)

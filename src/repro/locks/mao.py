@@ -43,6 +43,7 @@ class MaoTicketLock(LockAlgorithm):
 
     def lock(self, thread: SimThread, handle: MaoHandle, write: bool) -> Generator:
         ticket = yield ops.RemoteRmw(handle.ticket, lambda v: v + 1)
+        self.notify("enqueued", thread, handle, write)
         attempt = 0
         while True:
             serving = yield ops.RemoteRmw(handle.serving, lambda v: v)

@@ -43,6 +43,9 @@ class PthreadMutex(LockAlgorithm):
             if old == 0:
                 return
             yield ops.Compute(32)
+        # adaptive spin exhausted: entering the futex slow path is the
+        # mutex's queue join (the kernel wait queue)
+        self.notify("enqueued", thread, handle, write)
         while True:
             # Slow path: always mark contended, even when acquiring — a
             # thread woken from the futex cannot know whether other

@@ -120,6 +120,7 @@ class SnziRwLock(LockAlgorithm):
     def lock(self, thread: SimThread, handle: SnziHandle, write: bool) -> Generator:
         if write:
             ticket = yield fetch_add(handle.w_ticket, 1)
+            self.notify("enqueued", thread, handle, write)
             while True:
                 serving = yield ops.Load(handle.w_serving)
                 if serving == ticket:
@@ -132,6 +133,7 @@ class SnziRwLock(LockAlgorithm):
                     return
                 yield ops.WaitLine(handle.root, n)
         else:
+            gated = False
             while True:
                 # wait for the gate, then arrive; re-check the gate to
                 # close the arrive-vs-gate race (depart and retry if a
@@ -140,6 +142,10 @@ class SnziRwLock(LockAlgorithm):
                     g = yield ops.Load(handle.gate)
                     if g == 0:
                         break
+                    if not gated:
+                        # a writer holds the gate: the reader is queued
+                        gated = True
+                        self.notify("enqueued", thread, handle, write)
                     yield ops.WaitLine(handle.gate, g)
                 yield from self._reader_arrive(thread, handle)
                 g = yield ops.Load(handle.gate)

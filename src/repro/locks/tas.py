@@ -33,10 +33,16 @@ class TasLock(LockAlgorithm):
         return self.machine.alloc.alloc_line()
 
     def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
+        contended = False
         while True:
             old = yield test_and_set(handle)
             if old == 0:
                 return
+            if not contended:
+                # first failed attempt: the thread joined the (implicit)
+                # contention set — the spin-lock analogue of a queue join
+                contended = True
+                self.notify("enqueued", thread, handle, write)
             yield ops.Compute(8)  # pipeline gap between attempts
 
     def trylock(
@@ -71,10 +77,14 @@ class TatasLock(LockAlgorithm):
 
     def lock(self, thread: SimThread, handle: int, write: bool) -> Generator:
         backoff = 16
+        contended = False
         while True:
             old = yield test_and_set(handle)
             if old == 0:
                 return
+            if not contended:
+                contended = True
+                self.notify("enqueued", thread, handle, write)
             backoff = min(backoff * 2, self.max_backoff)
             yield ops.Compute(backoff)
             # spin on the cached copy until it looks free

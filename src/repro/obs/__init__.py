@@ -25,9 +25,23 @@ The observability layer of the reproduction (see README "Observability"):
   for the simulator itself (which subsystem burns host nanoseconds),
   engine event-queue telemetry, environment fingerprints and the
   ``repro.bench-trajectory`` schema behind ``python -m repro bench``.
+* :mod:`repro.obs.fairness` — :class:`FairnessObservatory`: passive
+  fairness/starvation observatory — arrival-vs-grant overtake ledger,
+  per-thread wait histograms, sliding-window Jain/writer-share series,
+  starvation watchdog with a flight-recorder ring, per-lock SLO
+  tracking; the ``fairness`` section of RunReport v4 and
+  ``python -m repro fairness``.
 """
 
 from repro.obs.diff import RunReportDiff, diff_run_reports
+from repro.obs.fairness import (
+    FairnessError,
+    FairnessObservatory,
+    OvertakeLedger,
+    StarvationAlert,
+    summarize_fairness,
+    validate_fairness,
+)
 from repro.obs.host import (
     HostProfileError,
     HostProfiler,
@@ -81,4 +95,6 @@ __all__ = [
     "HostProfiler", "HostProfileError", "validate_host_section",
     "env_fingerprint", "load_trajectory", "append_record",
     "validate_trajectory",
+    "FairnessObservatory", "OvertakeLedger", "StarvationAlert",
+    "FairnessError", "validate_fairness", "summarize_fairness",
 ]

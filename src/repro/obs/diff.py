@@ -44,6 +44,7 @@ LOWER_IS_BETTER = (
     "queue_delay", "busy", "messages", "wait", "evictions", "nacks",
     "dropped", "overflow", "stall", "handoff", "transfer", "enqueue",
     "host", "heap_pushes", "heap_pops", "events_processed",
+    "overtake", "starvation", "violation", "abandoned",
 )
 
 #: name substrings implying "bigger is better" (throughput-like).
@@ -51,7 +52,7 @@ LOWER_IS_BETTER = (
 #: because higher-is-better substrings win ties.
 HIGHER_IS_BETTER = (
     "total_cs", "throughput", "commit", "fairness", "hits", "ops",
-    "acquisitions", "completed", "per_host_sec",
+    "acquisitions", "completed", "per_host_sec", "jain", "writer_share",
 )
 
 #: verdicts, in severity order for sorting
@@ -75,8 +76,15 @@ def direction_of(name: str) -> Optional[str]:
     """Infer whether a smaller value of ``name`` is better ("lower"),
     a bigger one is ("higher"), or we don't know (None).  Higher-is-
     better substrings win ties: "total_cs_cycles" is throughput-like
-    even though it mentions cycles."""
+    even though it mentions cycles.
+
+    Names under a ``fairness.`` namespace are judged by their tail:
+    "fairness" itself is a higher-is-better quantity (the Jain index
+    result scalar), but ``fairness.lcu_0x80.overtakes.total`` is an
+    overtake count, where lower is better."""
     low = name.lower()
+    if "fairness." in low:
+        low = low.rsplit("fairness.", 1)[1] or low
     if any(s in low for s in HIGHER_IS_BETTER):
         return "higher"
     if any(s in low for s in LOWER_IS_BETTER):
@@ -160,6 +168,39 @@ def _comparable(
                     s.get("mean"), (int, float)
                 ):
                     out[f"profile.{label}.{p}.mean"] = s["mean"]
+    fairness = report.get("fairness")
+    if isinstance(fairness, dict):
+        for label, d in fairness.get("locks", {}).items():
+            if not isinstance(d, dict):
+                continue
+            base = f"fairness.{label}"
+            for key in ("jain", "writer_share", "longest_wait"):
+                v = d.get(key)
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    out[f"{base}.{key}"] = v
+            ot = d.get("overtakes")
+            if isinstance(ot, dict):
+                for key in ("total", "max"):
+                    v = ot.get(key)
+                    if isinstance(v, (int, float)):
+                        out[f"{base}.overtakes.{key}"] = v
+            for mode in ("read", "write"):
+                w = (d.get("wait") or {}).get(mode)
+                if isinstance(w, dict) and isinstance(
+                    w.get("p999"), (int, float)
+                ):
+                    out[f"{base}.wait.{mode}.p999"] = w["p999"]
+            sv = d.get("starvation")
+            if isinstance(sv, dict) and isinstance(
+                sv.get("alerts"), (int, float)
+            ):
+                out[f"{base}.starvation.alerts"] = sv["alerts"]
+            slo = d.get("slo")
+            if isinstance(slo, dict) and isinstance(
+                slo.get("time_in_violation"), (int, float)
+            ):
+                out[f"{base}.slo.time_in_violation"] = \
+                    slo["time_in_violation"]
     if include_host:
         host = report.get("host")
         if isinstance(host, dict):
@@ -331,6 +372,98 @@ def host_comparable(record: Dict[str, Any]) -> Dict[str, float]:
             if isinstance(subs, dict):
                 out.update(_numeric_leaves(subs, f"{prefix}.host_ns"))
     return out
+
+
+#: per-cell scorecard quantities of a fairness-trajectory record
+#: (``BENCH_fairness.json``).  All deterministic — simulated, not host
+#: wall-clock — so two runs of the same code diff as "unchanged" and
+#: the gate never false-fails on runner noise.
+FAIRNESS_CELL_KEYS = (
+    "jain", "max_overtake", "overtakes_total", "writer_share",
+    "wait_p999", "starvation_alerts", "slo_time_in_violation",
+    "slo_violations",
+)
+
+
+def is_fairness_record(record: Any) -> bool:
+    """True when ``record`` looks like a ``repro fairness`` trajectory
+    record (its cells carry the scorecard quantities)."""
+    if not isinstance(record, dict):
+        return False
+    cells = record.get("cells")
+    return bool(cells) and all(
+        isinstance(c, dict) and "jain" in c for c in cells
+    )
+
+
+def fairness_comparable(record: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten one fairness-trajectory record into dotted-path ->
+    number.  Cells are keyed by configuration (``lcu.A.t12.w20``) like
+    :func:`host_comparable`; scorecard quantities live under a
+    ``fairness.`` segment so :func:`direction_of` judges them by their
+    tail (``...fairness.jain`` higher-is-better,
+    ``...fairness.max_overtake`` lower)."""
+    out: Dict[str, float] = {}
+    for cell in record.get("cells", []):
+        if not isinstance(cell, dict):
+            continue
+        prefix = f"{cell.get('lock')}.{cell.get('model')}" \
+                 f".t{cell.get('threads')}"
+        if cell.get("write_pct") is not None:
+            prefix += f".w{cell.get('write_pct')}"
+        for key in ("simulated_cycles", "total_cs", "cycles_per_cs"):
+            v = cell.get(key)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[f"{prefix}.{key}"] = v
+        for key in FAIRNESS_CELL_KEYS:
+            v = cell.get(key)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[f"{prefix}.fairness.{key}"] = v
+    return out
+
+
+def diff_fairness_records(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = 0.10,
+) -> RunReportDiff:
+    """Compare two fairness-trajectory records' scorecard quantities.
+
+    Every compared quantity is simulated (deterministic), so the
+    default threshold matches the simulated-metrics gate, and a
+    fairness drop — lower Jain, a bigger worst overtake, a starved
+    writer share, a fatter p999 wait — earns a **regression** verdict
+    through the same direction machinery as ``repro diff``."""
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    old_q = fairness_comparable(old)
+    new_q = fairness_comparable(new)
+    entries: List[DiffEntry] = []
+    for key in sorted(set(old_q) | set(new_q)):
+        if key not in new_q:
+            entries.append(DiffEntry(key, old_q[key], None, None,
+                                     "removed", direction_of(key)))
+        elif key not in old_q:
+            entries.append(DiffEntry(key, None, new_q[key], None,
+                                     "added", direction_of(key)))
+        else:
+            ratio, verdict, direction = _verdict(
+                key, old_q[key], new_q[key], threshold
+            )
+            entries.append(DiffEntry(key, old_q[key], new_q[key],
+                                     ratio, verdict, direction))
+    entries.sort(key=lambda e: (VERDICTS.index(e.verdict), e.key))
+
+    from repro.obs.host import fingerprint_mismatches
+    mismatches: List[Tuple[str, Any, Any]] = [
+        (f"env.{k}", o, n)
+        for k, o, n in fingerprint_mismatches(
+            old.get("env") or {}, new.get("env") or {}
+        )
+    ]
+    if old.get("label") != new.get("label"):
+        mismatches.append(("label", old.get("label"), new.get("label")))
+    return RunReportDiff(entries, mismatches, threshold)
 
 
 def diff_host_records(

@@ -181,12 +181,16 @@ def finish_run(
     stm=None,
     profiler=None,
     host_profiler=None,
+    fairness=None,
 ) -> None:
     """Common post-run teardown used by the harness entry points: stop
     gauge sampling, take a final sample, harvest counters, drop in-flight
-    message spans, unwrap the tracer and detach the contention/host
-    profilers (the host profiler folds the engine's event-queue stats
-    into itself on detach)."""
+    message spans, unwrap the fairness observatory's flight recorder and
+    the tracer (in that order — the ring wraps ``net.send`` on top of
+    the tracer, and unwrapping is LIFO), publish fairness counters into
+    the registry and detach the contention/host profilers (the host
+    profiler folds the engine's event-queue stats into itself on
+    detach)."""
     if registry is not None:
         if registry.is_sampling:
             registry.sample(machine.sim.now)
@@ -194,6 +198,10 @@ def finish_run(
         harvest_machine_metrics(machine, registry)
         if stm is not None:
             harvest_stm_metrics(stm, registry)
+    if fairness is not None:
+        fairness.detach()
+        if registry is not None:
+            fairness.publish(registry)
     if tracer is not None:
         tracer.abandon_open()
         tracer.detach()

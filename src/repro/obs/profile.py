@@ -276,7 +276,11 @@ class ContentionProfiler:
             self._mark(st)
         elif event == "enqueued":
             rec = st.pending.get(tid)
-            if rec is not None:
+            if rec is not None and rec.t_enqueue is None:
+                # Probe-side enqueue events (LCU/LRT) carry the exact
+                # hardware enqueue time and fire before the thread
+                # resumes; never overwrite them with the (later)
+                # software-observed join.
                 rec.t_enqueue = now
         elif event == "acquire":
             rec = st.pending.pop(tid, None)

@@ -55,14 +55,39 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+#: legal cross-shard gauge merge policies (see ``Gauge.merge``)
+GAUGE_MERGE_POLICIES = ("last", "max", "min", "sum", "skip")
+
+
 class Gauge:
-    """Point-in-time value, explicit (:meth:`set`) or callback-backed."""
+    """Point-in-time value, explicit (:meth:`set`) or callback-backed.
 
-    __slots__ = ("name", "fn", "_value")
+    ``merge`` declares how the sweep runner combines this gauge across
+    shard registries (:meth:`MetricsRegistry.merge_state`):
 
-    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+    * ``"last"`` (default) — last writer wins, in spec order: the merged
+      value is the final shard's reading, exactly what a serial run
+      would have left behind.
+    * ``"max"`` / ``"min"`` — watermark gauges (peak queue depth,
+      worst-case overtake count) keep the extreme across shards.
+    * ``"sum"`` — additive point-in-time values.
+    * ``"skip"`` — excluded from :meth:`MetricsRegistry.to_state`
+      entirely, for gauges that are only meaningful live (callback
+      reads of a machine that no longer exists).
+    """
+
+    __slots__ = ("name", "fn", "_value", "merge")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None,
+                 merge: str = "last") -> None:
+        if merge not in GAUGE_MERGE_POLICIES:
+            raise MetricError(
+                f"gauge {name}: unknown merge policy {merge!r}; "
+                f"expected one of {GAUGE_MERGE_POLICIES}"
+            )
         self.name = name
         self.fn = fn
+        self.merge = merge
         self._value: float = 0.0
 
     def set(self, value: float) -> None:
@@ -163,17 +188,31 @@ class MetricsRegistry:
         return c
 
     def gauge(
-        self, name: str, fn: Optional[Callable[[], float]] = None
+        self, name: str, fn: Optional[Callable[[], float]] = None,
+        merge: Optional[str] = None,
     ) -> Gauge:
         """Get or create the gauge ``name``.  Passing ``fn`` (re)binds the
         callback — instrumentation re-binds gauges when a harness runs
-        several machines under one registry."""
+        several machines under one registry.  Passing ``merge`` (re)binds
+        the cross-shard merge policy (see :class:`Gauge`); omitted, an
+        existing gauge keeps its policy and a new one defaults to
+        ``"last"``."""
         g = self._gauges.get(name)
         if g is None:
             self._check_name(name, "gauge")
-            g = self._gauges[name] = Gauge(name, fn)
-        elif fn is not None:
+            g = self._gauges[name] = Gauge(
+                name, fn, merge=merge if merge is not None else "last"
+            )
+            return g
+        if fn is not None:
             g.fn = fn
+        if merge is not None:
+            if merge not in GAUGE_MERGE_POLICIES:
+                raise MetricError(
+                    f"gauge {name}: unknown merge policy {merge!r}; "
+                    f"expected one of {GAUGE_MERGE_POLICIES}"
+                )
+            g.merge = merge
         return g
 
     def histogram(self, name: str, bucket_width: int = 100) -> Histogram:
@@ -278,13 +317,20 @@ class MetricsRegistry:
         for reports — this dump carries raw buckets and accumulator
         moments, so a parent process can fold many shard registries
         together with :meth:`merge_state` and only then summarize.
-        Gauges are instantaneous point-in-time reads with no meaningful
-        cross-run combination, so they are deliberately excluded; series
+        Gauges travel as ``{value, merge}`` pairs, merged under their
+        declared policy (last-writer-wins in spec order by default,
+        ``max``/``min``/``sum`` for watermarks and additive values);
+        a gauge registered with ``merge="skip"`` is excluded.  Series
         (already (time, value) logs) transfer verbatim.
         """
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.read(), "merge": g.merge}
+                for name, g in sorted(self._gauges.items())
+                if g.merge != "skip"
             },
             "histograms": {
                 name: h.to_dict()
@@ -298,13 +344,30 @@ class MetricsRegistry:
 
     def merge_state(self, state: Dict[str, Any]) -> "MetricsRegistry":
         """Fold a :meth:`to_state` dump into this registry: counters add,
-        histograms merge bucket-exactly (same-width check included),
-        series concatenate in call order.  Deterministic: merging shard
-        states in a fixed order always yields the same registry, which
-        is what makes the parallel sweep byte-identical to the serial
-        one.  Returns ``self``."""
+        gauges combine under their declared merge policy, histograms
+        merge bucket-exactly (same-width check included), series
+        concatenate in call order.  Deterministic: merging shard states
+        in a fixed order always yields the same registry, which is what
+        makes the parallel sweep byte-identical to the serial one.
+        States dumped before gauges carried merge policies (no
+        ``gauges`` table) still merge fine.  Returns ``self``."""
         for name, value in state.get("counters", {}).items():
             self.counter(name).inc(value)
+        for name, spec in state.get("gauges", {}).items():
+            value = spec["value"]
+            policy = spec.get("merge", "last")
+            fresh = name not in self._gauges
+            g = self.gauge(name, merge=policy)
+            if policy == "skip":
+                continue
+            if fresh or policy == "last":
+                g.set(value)
+            elif policy == "max":
+                g.set(max(g.read(), value))
+            elif policy == "min":
+                g.set(min(g.read(), value))
+            elif policy == "sum":
+                g.set(g.read() + value)
         for name, h in state.get("histograms", {}).items():
             self.histogram(
                 name, bucket_width=h["bucket_width"]

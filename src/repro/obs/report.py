@@ -9,12 +9,13 @@ dump).  The schema is versioned so downstream tooling — including the
 repo's own ``BENCH_telemetry.json`` perf-trajectory baseline — can evolve
 without guessing.
 
-Top-level shape (version 3)::
+Top-level shape (version 4)::
 
     {
       "schema": "repro.run-report",
-      "version": 3,
-      "kind": "microbench" | "stm" | "app" | "figure" | "sweep",
+      "version": 4,
+      "kind": "microbench" | "stm" | "app" | "figure" | "sweep"
+              | "fairness",
       "config": {...},          # machine model + harness parameters
       "results": {...},         # harness result fields, JSON-safe
       "metrics": {              # MetricsRegistry.to_dict() (may be empty)
@@ -25,13 +26,16 @@ Top-level shape (version 3)::
         "series": {name: [[t, value], ...]}
       },
       "profile": {...},         # optional: ContentionProfiler.to_dict()
-      "host": {...}             # optional: HostProfiler.to_dict()
+      "host": {...},            # optional: HostProfiler.to_dict()
                                 # (--host-prof host-time attribution)
+      "fairness": {...}         # optional: FairnessObservatory.to_dict()
+                                # (--fairness wait/overtake/SLO ledger)
     }
 
-Version 1 (no ``profile`` section) and version 2 (no ``host`` section)
-are still accepted everywhere — older BENCH baselines stay valid and
-diffable.  Reports are always *written* at version 3.
+Version 1 (no ``profile`` section), version 2 (no ``host`` section) and
+version 3 (no ``fairness`` section) are still accepted everywhere —
+older BENCH baselines stay valid and diffable.  Reports are always
+*written* at version 4.
 
 ``validate_run_report`` is the single source of truth for the schema;
 the CLI (``python -m repro report``), the smoke tests and the golden
@@ -45,9 +49,10 @@ import json
 from typing import Any, Dict, List, Optional
 
 RUN_REPORT_SCHEMA = "repro.run-report"
-RUN_REPORT_VERSION = 3
-RUN_REPORT_SUPPORTED_VERSIONS = (1, 2, 3)
-RUN_REPORT_KINDS = ("microbench", "stm", "app", "figure", "sweep")
+RUN_REPORT_VERSION = 4
+RUN_REPORT_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+RUN_REPORT_KINDS = ("microbench", "stm", "app", "figure", "sweep",
+                    "fairness")
 
 _NUMBER = (int, float)
 
@@ -87,15 +92,17 @@ def build_run_report(
     metrics: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
     host: Optional[Dict[str, Any]] = None,
+    fairness: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble (and validate) a RunReport dict.
 
     ``config`` and ``results`` may be dataclasses or dicts; values are
     coerced to JSON-safe types.  ``metrics`` is a
     ``MetricsRegistry.to_dict()`` dump (empty sections if omitted);
-    ``profile`` is a ``ContentionProfiler.to_dict()`` section and
-    ``host`` a ``HostProfiler.to_dict()`` section (each omitted from
-    the report when None).
+    ``profile`` is a ``ContentionProfiler.to_dict()`` section, ``host``
+    a ``HostProfiler.to_dict()`` section and ``fairness`` a
+    ``FairnessObservatory.to_dict()`` section (each omitted from the
+    report when None).
     """
     report = {
         "schema": RUN_REPORT_SCHEMA,
@@ -111,6 +118,8 @@ def build_run_report(
         report["profile"] = profile
     if host is not None:
         report["host"] = host
+    if fairness is not None:
+        report["fairness"] = fairness
     validate_run_report(report)
     return report
 
@@ -201,6 +210,17 @@ def validate_run_report(report: Any) -> None:
             except HostProfileError as e:
                 err(f"host: {e}")
 
+    fairness = report.get("fairness")
+    if fairness is not None:
+        if version in (1, 2, 3):
+            err("'fairness' section requires version 4")
+        else:
+            from repro.obs.fairness import FairnessError, validate_fairness
+            try:
+                validate_fairness(fairness)
+            except FairnessError as e:
+                err(f"fairness: {e}")
+
     if errors:
         raise ReportValidationError(errors)
 
@@ -277,5 +297,19 @@ def summarize_run_report(report: Dict[str, Any], top: int = 12) -> str:
         lines.append(
             f"host: {host.get('total_ns', 0) / 1e6:.1f} ms attributed"
             + (f" ({where})" if where else "")
+        )
+    fairness = report.get("fairness")
+    if fairness:
+        locks = fairness.get("locks", {})
+        overtakes = sum(
+            d.get("overtakes", {}).get("total", 0) for d in locks.values()
+        )
+        alerts = sum(
+            d.get("starvation", {}).get("alerts", 0) for d in locks.values()
+        )
+        lines.append(
+            f"fairness: {len(locks)} lock(s), {overtakes} overtakes, "
+            f"{alerts} starvation alert(s) "
+            f"(see `repro fairness` for the scorecard)"
         )
     return "\n".join(lines)

@@ -87,7 +87,7 @@ class TestProfileVerb:
             int(weight)
         validate_chrome_trace(json.loads(trace.read_text()))
         report = load_run_report(str(rep))
-        assert report["version"] == 3
+        assert report["version"] == 4
         assert "profile" in report
         assert report["config"]["lock"] == "lcu"
 

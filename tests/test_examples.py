@@ -33,11 +33,14 @@ class TestExamples:
         )
         assert "lock=mcs" in out
 
+    @pytest.mark.fairness
     def test_fairness_demo(self):
         out = run_example("fairness_demo.py", "--duration", "30000",
                           "--readers", "6", "--writers", "2")
         assert "lcu" in out and "ssb" in out
         assert "writer share" in out
+        assert "overtakes:" in out
+        assert "starvation" in out.lower()
 
     def test_stm_set(self):
         out = run_example(

@@ -123,14 +123,14 @@ class TestAttribution:
         host, _ = _profiled_run()
         validate_host_section(host.to_dict())
 
-    def test_embeds_in_v3_run_report(self):
+    def test_embeds_in_current_run_report(self):
         host, result = _profiled_run()
         report = build_run_report(
             "microbench", {"lock": "lcu"},
             {"cycles_per_cs": result.cycles_per_cs},
             host=host.to_dict(),
         )
-        assert report["version"] == 3
+        assert report["version"] == 4
         validate_run_report(report)
 
     def test_summarize_names_top_subsystem(self):
