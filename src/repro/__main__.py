@@ -908,6 +908,27 @@ def cmd_faults(args) -> int:
     )
     from repro.faults.plan import ALL_CLASSES
 
+    if args.list_classes:
+        from repro.faults.plan import (
+            CRASH_CLASSES,
+            GRAY_CLASSES,
+            LCU_ONLY_CLASSES,
+            MESSAGE_CLASSES,
+            SCHED_CLASSES,
+        )
+        groups = [
+            ("message (all algorithms)", MESSAGE_CLASSES),
+            ("scheduler (all algorithms)", SCHED_CLASSES),
+            ("crash-stop (all algorithms)", CRASH_CLASSES),
+            ("gray failure (all algorithms)", GRAY_CLASSES),
+            ("hardware pressure (LCU-backed locks only)", LCU_ONLY_CLASSES),
+        ]
+        for label, members in groups:
+            print(f"{label}:")
+            for cls in members:
+                print(f"  {cls}")
+        return 0
+
     algos = args.algos.split(",") if args.algos else list(DEFAULT_ALGOS)
     models = args.models.split(",") if args.models else list(DEFAULT_MODELS)
     classes = args.classes.split(",") if args.classes else None
@@ -928,6 +949,7 @@ def cmd_faults(args) -> int:
         algos=algos, models=models, classes=classes, seed=args.seed,
         threads=args.threads, iters=args.iters, horizon=args.horizon,
         progress=progress, workers=args.workers or 0,
+        fencing=not args.no_fencing,
     )
     counts = result.counts
     print(f"\n{len(result.cells)} cells: "
@@ -1272,6 +1294,16 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--classes", default=None,
                     help="comma-separated fault classes (default: all "
                          "applicable per algorithm)")
+    fl.add_argument("--list-classes", action="store_true",
+                    help="print the known fault classes, grouped by "
+                         "family, and exit")
+    fl.add_argument("--no-fencing", action="store_true",
+                    help="sabotage mode: leases are still reclaimed but "
+                         "grants carry no enforced fence token, so a "
+                         "zombie holder's stale operations succeed "
+                         "silently — zombie cells are then *expected* "
+                         "to violate (the proof the fences earn their "
+                         "keep)")
     fl.add_argument("--seed", type=int, default=0,
                     help="matrix seed (every cell derives from it)")
     fl.add_argument("--threads", type=int, default=6)

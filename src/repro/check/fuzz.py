@@ -45,7 +45,12 @@ _MODELS = {"A": model_a, "B": model_b, "T": small_test_model}
 #: reproducer format version (bump when FuzzCase fields change shape)
 #: 2: optional ``faults`` fault-plan dict (format-1 docs still load)
 #: 3: optional ``crash_policy`` crash victim-policy override
-FORMAT = 3
+#: 4: ``fencing`` arm/sabotage switch for lease-reclaim fence tokens
+#:    (gray-failure plans carry partition specs and zombie windows in
+#:    ``faults``; ``fencing=False`` is the sabotage mode that lets a
+#:    reclaimed zombie's stale operations through so the monitor's
+#:    zombie-writer check must catch them)
+FORMAT = 4
 
 #: liveness bound (cycles) armed for crash-faulted cases: every waiter
 #: must be granted within this many cycles of max(its request, the last
@@ -104,6 +109,11 @@ class FuzzCase:
     #: sabotage mode that crashes unrecoverable holders on purpose, used
     #: to prove the liveness oracle actually fires)
     crash_policy: Optional[str] = None
+    #: arm fence tokens on lease reclaims (True, the default) or run the
+    #: ``--no-fencing`` sabotage where a reclaimed zombie's stale
+    #: operations succeed silently and only the invariant monitor's
+    #: zombie-writer check stands between it and a torn critical section
+    fencing: bool = True
     note: str = ""
 
     def describe(self) -> str:
@@ -131,6 +141,8 @@ class FuzzCase:
             bits.append(f"faults={'+'.join(kinds)}")
         if self.crash_policy is not None:
             bits.append(f"crash={self.crash_policy}")
+        if not self.fencing:
+            bits.append("no-fencing")
         return " ".join(bits)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -286,7 +298,10 @@ def run_case(
         from repro.faults.injector import FaultInjector
         from repro.faults.plan import CRASH_CLASSES, FaultPlan
 
-        injector = FaultInjector(machine, os_, FaultPlan.from_dict(case.faults))
+        injector = FaultInjector(
+            machine, os_, FaultPlan.from_dict(case.faults),
+            fencing=case.fencing,
+        )
         injector.arm()
         if any(k in CRASH_CLASSES for k in injector.plan.classes):
             # crash-stop faults in play: install the victim policy and
@@ -604,6 +619,10 @@ def _candidates(case: FuzzCase) -> List[FuzzCase]:
         variant(cs_cycles=0)
     if case.crash_policy is not None:
         variant(crash_policy=None)
+    if not case.fencing:
+        # does the failure need the sabotage, or is it a real bug that
+        # survives with fences armed?
+        variant(fencing=True)
     if case.faults is not None:
         variant(faults=None)
         kinds = sorted({e["kind"] for e in case.faults["events"]})

@@ -355,6 +355,20 @@ class InvariantMonitor:
         #: tids killed by injected crash-stop faults (fed by
         #: :meth:`on_crash` via ``OS.crash_hooks``)
         self._crashed_tids: set = set()
+        #: gray-failure lease recovery (all three empty in unfaulted
+        #: runs — every hot-path use is truthiness-guarded).  A reclaim
+        #: era closing is reported by the LRT as a burst of "survivor"
+        #: events (buffered here per address) followed by one terminal
+        #: "fenced"/"reclaim" event; see :meth:`_era_closed`.
+        self._survivor_buf: Dict[int, set] = {}
+        #: fencing armed: tids whose hold was voided by a fenced
+        #: reclaim — their eventual stale release event is consumed
+        #: (the protocol fenced it; the shadow must not double-exit)
+        self._fenced_voided: Dict[Any, set] = {}
+        #: sabotage mode (fencing off): stale holders the protocol
+        #: reclaimed *without* fencing, tid -> write.  A conflicting
+        #: later acquire proves the zombie-writer hole.
+        self._reclaimed: Dict[Any, Dict[int, bool]] = {}
         self.audit_stride = max(1, audit_stride)
         self.history = history
         self.overtake_bound = overtake_bound
@@ -487,6 +501,8 @@ class InvariantMonitor:
         if event == "request":
             oracle.request(tid, write, now)
         elif event == "acquire":
+            if self._reclaimed:
+                self._check_zombie(handle, tid, write, now)
             if self.liveness_bound is not None:
                 entry = oracle.waiting.get(tid)
                 if entry is not None:
@@ -507,10 +523,47 @@ class InvariantMonitor:
             tracker.enter(write)
             oracle.acquire(tid, write, now, excused=self._frozen_tids(now))
         elif event == "release":
+            if self._fenced_voided:
+                voided = self._fenced_voided.get(handle)
+                if voided is not None and tid in voided:
+                    # The stale release of a hold a fenced reclaim
+                    # already voided: the protocol fenced it, the shadow
+                    # dropped it at era close — consume, don't double-exit.
+                    voided.discard(tid)
+                    return
+            if self._reclaimed:
+                stale = self._reclaimed.get(handle)
+                if stale is not None:
+                    # Sabotage mode: the zombie released before anyone
+                    # conflicted — the hole closed unobserved this time.
+                    stale.pop(tid, None)
             tracker.exit(write)
             oracle.release(tid, write, now)
         elif event == "abandon":
             oracle.abandon(tid, now)
+
+    def _check_zombie(self, handle: Any, tid: int, write: bool,
+                      now: int) -> None:
+        """An acquire is being granted while unfenced stale holders from
+        a lease reclaim exist (sabotage mode).  A conflicting grant —
+        any grant over a stale writer, or a write grant over any stale
+        holder — is the zombie-writer exclusion hole fencing closes."""
+        stale = self._reclaimed.get(handle)
+        if not stale:
+            return
+        others = {t: w for t, w in stale.items() if t != tid}
+        if not others:
+            return
+        if write or any(others.values()):
+            self._violate(
+                "zombie_writer",
+                f"tid {tid} granted {'W' if write else 'R'} at t={now} "
+                f"while zombie holder(s) {sorted(others)} from an "
+                "unfenced lease reclaim may still be in their critical "
+                "sections",
+                handle=handle,
+                zombies={t: ("W" if w else "R") for t, w in others.items()},
+            )
 
     def _frozen_tids(self, now: int) -> Optional[set]:
         """Tids that cannot consume a grant — frozen by an injected core
@@ -534,6 +587,19 @@ class InvariantMonitor:
     def _on_hw_event(self, event: str, addr: int, tid: int,
                      write: bool) -> None:
         self.stats["hw_events"] += 1
+        if event == "survivor":
+            # One live hold the LRT's reclaim handshake confirmed (it
+            # re-seated the writer or re-credited the reader); buffered
+            # until the era's terminal event arrives.
+            self._survivor_buf.setdefault(addr, set()).add(tid)
+            return
+        if event in ("fenced", "reclaim"):
+            self._era_closed(
+                addr, tid, write,
+                survivors=self._survivor_buf.pop(addr, set()),
+                fenced=(event == "fenced"),
+            )
+            return
         if event in ("timeout", "evict"):
             # The grant timer acted on behalf of an absent thread
             # (preempted, migrated, or an abandoned trylock), or fault
@@ -548,6 +614,37 @@ class InvariantMonitor:
                 # credit every lock (conservative — never a false alarm)
                 for oracle in self.oracles.values():
                     oracle.grant_timeout()
+
+    def _era_closed(self, addr: int, victim_tid: int, victim_write: bool,
+                    survivors: set, fenced: bool) -> None:
+        """A lease reclaim of ``addr`` completed its reset handshake.
+        ``survivors`` are the holds the handshake confirmed live; any
+        other holder the shadow still tracks is a zombie whose hold the
+        protocol revoked.  With fencing armed the zombie's token is dead
+        — drop its hold from the shadow and earmark its stale release
+        for consumption.  In sabotage mode nothing protects the next
+        grant from it: record it so a conflicting acquire raises the
+        ``zombie_writer`` violation.
+
+        Only an oracle keyed directly by the address is touched: voiding
+        is destructive, and software algorithms (whose handles are not
+        addresses) never produce these events in the first place.
+        """
+        oracle = self.oracles.get(addr)
+        if oracle is None:
+            return
+        now = self.machine.sim.now
+        tracker = self.trackers.get(addr)
+        for tid, write in list(oracle.holders.items()):
+            if tid in survivors or tid in self._crashed_tids:
+                continue
+            if fenced:
+                if tracker is not None:
+                    tracker.exit(write)
+                oracle.fence(tid, now)
+                self._fenced_voided.setdefault(addr, set()).add(tid)
+            else:
+                self._reclaimed.setdefault(addr, {})[tid] = write
 
     def _probe(self) -> None:
         self._events_seen += 1

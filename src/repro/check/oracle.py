@@ -189,6 +189,16 @@ class RWLockOracle:
         self.waiting.pop(tid, None)
         self.ledger.clear(tid)
 
+    def fence(self, tid: int, now: int) -> None:
+        """The thread's hold was revoked by a fenced lease reclaim (it
+        stalled past its lease; the protocol fenced its token and moved
+        on).  Its hold ends — the stale release it will eventually issue
+        is consumed by the fence, never reaching the lock — but unlike
+        :meth:`crash` the thread is still alive: a pending *wait* stays,
+        because the thread will re-request and acquire normally."""
+        self.holders.pop(tid, None)
+        self.ledger.clear(tid)
+
     def grant_timeout(self) -> None:
         """The hardware grant timer skipped an absent waiter; later
         acquisitions may legally overtake it."""

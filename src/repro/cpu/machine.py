@@ -26,7 +26,7 @@ _LCU_MESSAGE_TYPES = (
     lcu_msgs.Grant, lcu_msgs.FwdRequest, lcu_msgs.WaitMsg, lcu_msgs.Retry,
     lcu_msgs.ReleaseAck, lcu_msgs.ReleaseRetry, lcu_msgs.Dealloc,
     lcu_msgs.OvfClear, lcu_msgs.RemoteRelease, lcu_msgs.RemoteReleaseAck,
-    lcu_msgs.QueueReset, lcu_msgs.QueueProbe,
+    lcu_msgs.QueueReset, lcu_msgs.QueueProbe, lcu_msgs.FencedOperation,
 )
 
 
@@ -114,12 +114,51 @@ class Machine:
         self, watchdog_interval: int = 20_000,
         silence_threshold: int = 50_000,
         lease_cycles: "int | None" = None,
+        fencing: bool = True,
     ) -> None:
-        """Arm fault tolerance in every LCU and LRT (see repro.faults)."""
+        """Arm fault tolerance in every LCU and LRT (see repro.faults).
+
+        ``fencing=False`` is the sabotage mode: leases are still
+        reclaimed, but grants carry no enforced fence token, so a
+        zombie holder's stale operations succeed silently — the
+        invariant monitor's zombie-writer check must catch it."""
         for lcu in self.lcus:
-            lcu.harden()
+            lcu.harden(fencing=fencing)
         for lrt in self.lrts:
-            lrt.harden(watchdog_interval, silence_threshold, lease_cycles)
+            lrt.harden(watchdog_interval, silence_threshold, lease_cycles,
+                       fencing=fencing)
+
+    def start_heartbeats(self, interval: int = 5_000) -> None:
+        """Begin per-core heartbeats to every LRT (the suspicion-level
+        failure detector's input).  Fault-harness-only, like
+        :meth:`harden`: unfaulted builds never schedule any of this.
+        Heartbeats ride the armed reliable layer as best-effort
+        datagrams — faulted like any frame, never retransmitted — so a
+        partitioned or zombied core goes silent and its suspicion
+        climbs, while a merely slow core keeps beating and is probed
+        patiently instead of reclaimed."""
+        if getattr(self, "_heartbeats_on", False):
+            return
+        self._heartbeats_on = True
+        for lrt in self.lrts:
+            lrt.enable_failure_detector(interval)
+        for core in range(self.config.cores):
+            self.sim.at(
+                self.sim.now + 1 + core,
+                lambda c=core: self._heartbeat_tick(c, interval),
+            )
+
+    def _heartbeat_tick(self, core: int, interval: int) -> None:
+        if self.lcus[core].dead:
+            # a dead core stops beating; restart_core re-arms below
+            self.sim.after(interval, lambda: self._heartbeat_tick(
+                core, interval))
+            return
+        for j in range(self.config.num_lrts):
+            self.net.send(("core", core), ("lrt", j),
+                          lcu_msgs.Heartbeat(core=core))
+        self.sim.after(interval, lambda: self._heartbeat_tick(
+            core, interval))
 
     # ------------------------------------------------------------------ #
     # crash-stop faults (repro.faults crash_core / restart_core)

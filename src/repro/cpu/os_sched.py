@@ -128,6 +128,9 @@ class OS:
         self._stop_on_idle = False
         # fault injection (repro.faults): cores stalled until a cycle
         self._stalled_until: Dict[int, int] = {}
+        # gray degradation (slow_core): core -> dispatch slowdown factor.
+        # Empty in unfaulted runs, so the executor fast path never pays.
+        self._core_slowdown: Dict[int, float] = {}
         self.forced_preemptions = 0
         self.forced_stalls = 0
         # crash-stop faults: dead cores + per-victim notification hooks
@@ -329,6 +332,18 @@ class OS:
         # the window closes.
         self.sim.at(end, self._dispatch)
 
+    def set_core_slowdown(self, core: int, factor: float) -> None:
+        """Gray degradation (slow_core nemesis): stretch every compute
+        phase dispatched on ``core`` by ``factor``.  Unlike
+        :meth:`stall_core` the core keeps executing — slowly — so its
+        LCU answers probes and its heartbeats keep flowing: the failure
+        detector must *not* reclaim its holders.  ``factor <= 1``
+        restores full speed."""
+        if factor <= 1.0:
+            self._core_slowdown.pop(core, None)
+        else:
+            self._core_slowdown[core] = factor
+
     def crash_core(self, core: int, extra_tids=()) -> List[int]:
         """Crash-stop fault: core ``core`` dies now and stays dead until
         :meth:`restart_core`.  The thread running there is killed, as is
@@ -460,6 +475,10 @@ class OS:
 
     def _ex_compute(self, t, op, done) -> None:
         c = op.cycles
+        if self._core_slowdown:
+            f = self._core_slowdown.get(t.core)
+            if f is not None:
+                c = int(c * f)
         self.sim.after(c if c > 1 else 1, done)
 
     def _ex_load(self, t, op, done) -> None:

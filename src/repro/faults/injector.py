@@ -43,6 +43,13 @@ _EVICTS_PER_EVENT = 4
 _CRASH_POLL_INTERVAL = 263
 _CRASH_POLL_MAX = 400
 
+#: zombie victim polling: like the crash poll, but the gate is built in
+#: (prefer a core whose LCU currently homes live lock state — a
+#: *holder* zombie is the scenario fencing exists for).  If no core
+#: ever qualifies (software locks keep no LCU state), the stall lands
+#: on the planned core anyway: for them a zombie is just a long stall.
+_ZOMBIE_POLL_MAX = 100
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultOutcome:
@@ -74,10 +81,16 @@ class FaultInjector:
     run the workload → :meth:`drain` → :meth:`classify`.
     """
 
-    def __init__(self, machine, os_, plan: FaultPlan) -> None:
+    def __init__(
+        self, machine, os_, plan: FaultPlan, *, fencing: bool = True
+    ) -> None:
         self.machine = machine
         self.os = os_
         self.plan = plan
+        #: lease-recovery fencing tokens; ``False`` is the sabotage mode
+        #: (``repro faults --no-fencing``) that provably reopens the
+        #: zombie-writer hole the tokens close
+        self.fencing = fencing
         self._rng = random.Random(plan.seed * 0x9E3779B1 + 13)
         self._armed = False
         self.reliable: Optional[ReliableLayer] = None
@@ -85,6 +98,17 @@ class FaultInjector:
         self._msg_events: List[FaultEvent] = [
             e for e in plan.events if e.kind in MESSAGE_CLASSES
         ]
+        self._partition_events: List[FaultEvent] = [
+            e for e in plan.events if e.kind == "partition_links"
+        ]
+        #: core -> blackhole end cycle for an in-progress zombie window
+        self._zombie_until: Dict[int, int] = {}
+        # a zombie can land on any core (victim polling decides), so
+        # its plan must cover every protocol link with the reliable
+        # layer up front — coverage is fixed at arm time
+        self._covers_all = any(
+            e.kind == "zombie_core" for e in plan.events
+        )
         #: cycle of the most recent injected fault (any kind) — the
         #: liveness oracle measures its grant bound from here, so
         #: post-fault recovery time is charged against recovery, not
@@ -105,21 +129,29 @@ class FaultInjector:
         layer (if the plan faults messages), schedule every event."""
         assert not self._armed, "injector armed twice"
         self._armed = True
-        self.machine.harden()
+        self.machine.harden(fencing=self.fencing)
         sim = self.machine.sim
-        if self._msg_events:
+        if self.plan.needs_reliable():
             self.reliable = ReliableLayer(sim, self._link_covered)
             self.reliable.attach(self.machine.net)
             self.machine.net.fault_filter = self._fault_filter
+            # heartbeats ride the reliable layer and feed the LRT
+            # suspicion detector; without frames there is nothing to
+            # miss, so they exist only alongside it
+            self.machine.start_heartbeats()
         for event in self.plan.events:
-            if event.kind in MESSAGE_CLASSES:
+            if event.kind in MESSAGE_CLASSES or \
+                    event.kind == "partition_links":
                 continue  # window-matched inside the filter
             sim.at(max(event.at, sim.now + 1),
                    lambda e=event: self._fire(e))
 
     def _link_covered(self, src: Endpoint, dst: Endpoint) -> bool:
+        if self._covers_all:
+            return True
         return any(
-            self._link_match(e.links, src, dst) for e in self._msg_events
+            self._link_match(e.links, src, dst)
+            for e in self._msg_events + self._partition_events
         )
 
     def _link_match(self, links: str, src: Endpoint, dst: Endpoint) -> bool:
@@ -131,6 +163,30 @@ class FaultInjector:
         # "inter_chip": Model B hub links
         return self.machine._chip_of(src) != self.machine._chip_of(dst)
 
+    def _partition_match(
+        self, e: FaultEvent, src: Endpoint, dst: Endpoint
+    ) -> bool:
+        if not self._link_match(e.links, src, dst):
+            return False
+        if e.direction == "both":
+            return True
+        return self._is_fwd(src, dst) == (e.direction == "fwd")
+
+    def _is_fwd(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Canonical link orientation, so ``direction`` names one side
+        of an asymmetric cut: core→LRT is "fwd" (so "rev" blackholes
+        the grant/ack path while requests keep flowing), lower→higher
+        chip is "fwd" on hub links, endpoint tuple order breaks ties."""
+        if src[0] == "core" and dst[0] == "lrt":
+            return True
+        if src[0] == "lrt" and dst[0] == "core":
+            return False
+        chip_s = self.machine._chip_of(src)
+        chip_d = self.machine._chip_of(dst)
+        if chip_s != chip_d:
+            return chip_s < chip_d
+        return src < dst
+
     # ------------------------------------------------------------------ #
     # wire fault filter (frames only)
 
@@ -140,6 +196,20 @@ class FaultInjector:
         if self.reliable is None or not self.reliable.intercepts(payload):
             return [(0, payload)]
         now = self.machine.sim.now
+        # blackholes first: a partitioned or zombied link loses every
+        # frame outright (the reliable layer's retransmissions are what
+        # carry the traffic across the heal)
+        for e in self._partition_events:
+            if e.at <= now < e.end and self._partition_match(e, src, dst):
+                if self._roll(e.prob, "partition_links"):
+                    return []
+        if self._zombie_until:
+            for core, end in self._zombie_until.items():
+                if now < end and (
+                    src == ("core", core) or dst == ("core", core)
+                ):
+                    self._count("zombie_blackhole")
+                    return []
         copies: List[Tuple[int, Any]] = [(0, payload)]
         for e in self._msg_events:
             if not (e.at <= now < e.end):
@@ -205,10 +275,69 @@ class FaultInjector:
                 event.core % self.machine.config.cores, event.duration
             )
             self._count("stall")
+        elif kind == "zombie_core":
+            self._try_zombie(event, attempts=0)
+        elif kind == "slow_core":
+            core = event.core % self.machine.config.cores
+            self.os.set_core_slowdown(core, event.factor)
+            self._count("slow_core")
+            if event.duration:
+                self.machine.sim.at(
+                    max(event.end, self.machine.sim.now + 1),
+                    lambda: self.os.set_core_slowdown(core, 1.0),
+                )
         elif kind in ("crash_core", "restart_core"):
             self._try_crash(event, attempts=0)
         else:  # pragma: no cover - plan validation rejects unknown kinds
             raise ValueError(f"unschedulable fault kind {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # zombie cores
+
+    def _try_zombie(self, event: FaultEvent, attempts: int) -> None:
+        cores = self.machine.config.cores
+        preferred = event.core % cores
+        victim = None
+        for offset in range(cores):
+            cand = (preferred + offset) % cores
+            if cand in self.os.crashed_cores:
+                continue
+            if self.machine.lcus[cand].homed_tids():
+                victim = cand
+                break
+        if victim is None:
+            if attempts < _ZOMBIE_POLL_MAX:
+                self.machine.sim.after(
+                    _CRASH_POLL_INTERVAL,
+                    lambda: self._try_zombie(event, attempts + 1),
+                )
+                return
+            if preferred in self.os.crashed_cores:
+                self.stats["zombies_skipped"] = (
+                    self.stats.get("zombies_skipped", 0) + 1
+                )
+                return
+            victim = preferred  # software locks: a plain long stall
+        self._begin_zombie(victim, event.duration)
+
+    def _begin_zombie(self, core: int, duration: int) -> None:
+        """Freeze the whole core, gray-style: threads stop dispatching
+        (``stall_core``) *and* its protocol links blackhole, so probes
+        go unanswered and the lease watchdog reclaims a live holder.
+        Both effects heal at the same instant — the zombie resumes."""
+        end = self.machine.sim.now + max(1, duration)
+        self.os.stall_core(core, max(1, duration))
+        self._zombie_until[core] = end
+        self._count("zombie_core")
+        self.machine.sim.at(end, lambda: self._end_zombie(core, end))
+
+    def _end_zombie(self, core: int, end: int) -> None:
+        if self._zombie_until.get(core) == end:
+            del self._zombie_until[core]
+            # the resume is itself an injection instant: the liveness
+            # clock restarts here, charging post-resume waits to
+            # recovery rather than to the whole stall
+            self._count("zombie_heal")
 
     # ------------------------------------------------------------------ #
     # crash-stop faults

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.check.fuzz import FuzzCase, run_case
 from repro.faults.plan import (
     CRASH_CLASSES,
+    GRAY_CLASSES,
     LCU_ONLY_CLASSES,
     MESSAGE_CLASSES,
     SCHED_CLASSES,
@@ -42,8 +43,13 @@ DEFAULT_MODELS: Tuple[str, ...] = ("A", "B")
 #: between critical sections), LCU-backed locks under the "busy" policy
 #: (the crash lands on live hardware lock state and must be revoked by
 #: the lease machinery) — see repro.check.fuzz._crash_victim_gate.
+#: Gray-failure classes (asymmetric partitions, zombie holders, slow
+#: cores) are universal too: any lock's traffic can be partitioned and
+#: any core can zombie or crawl; what differs is the recovery story the
+#: cell exercises (fenced lease reclaim for LCU-backed locks, plain
+#: retransmission-and-wait for software ones).
 UNIVERSAL_CLASSES: Tuple[str, ...] = (
-    MESSAGE_CLASSES + SCHED_CLASSES + CRASH_CLASSES
+    MESSAGE_CLASSES + SCHED_CLASSES + CRASH_CLASSES + GRAY_CLASSES
 )
 LCU_ALGOS: Tuple[str, ...] = ("lcu", "lcu_fb")
 
@@ -125,14 +131,22 @@ def run_cell(
     threads: int = 6,
     iters: int = 30,
     horizon: int = 12_000,
+    fencing: bool = True,
 ) -> NemesisCell:
-    """Run one matrix cell.  Model B message faults target the scarce
-    inter-chip hub links (the paper's Model B bottleneck); Model A is
-    flat, so they target the core↔LRT protocol links instead."""
+    """Run one matrix cell.  Model B message faults and link partitions
+    target the scarce inter-chip hub links (the paper's Model B
+    bottleneck — a partition there is a hub brownout); Model A is flat,
+    so they target the core↔LRT protocol links instead.
+
+    ``fencing=False`` is the sabotage axis: leases are still reclaimed
+    but grants carry no enforced fence token, so a zombie holder's
+    stale operations succeed silently — the cell is then expected to
+    *violate* (the monitor's zombie-writer check firing is the proof
+    the fences earn their keep)."""
     cseed = _cell_seed(seed, algo, model, fault)
     links = (
         "inter_chip"
-        if model == "B" and fault in MESSAGE_CLASSES
+        if model == "B" and fault in MESSAGE_CLASSES + ("partition_links",)
         else "lcu_lrt"
     )
     plan = generate_plan(
@@ -152,6 +166,7 @@ def run_cell(
         yield_pct=10,
         tiebreak_seed=cseed & 0xFFFF,
         faults=plan.to_dict(),
+        fencing=fencing,
         note=f"nemesis {fault}/{algo}/{model}",
     )
     outcome = run_case(case)
@@ -184,11 +199,12 @@ def _cell_specs(
     threads: int,
     iters: int,
     horizon: int,
+    fencing: bool,
 ) -> List[Tuple]:
     """The matrix cells in canonical (spec) order — the order the report
     lists them in regardless of how they are executed."""
     return [
-        (algo, model, fault, seed, threads, iters, horizon)
+        (algo, model, fault, seed, threads, iters, horizon, fencing)
         for model in models
         for algo in algos
         for fault in classes_for(algo, classes)
@@ -198,10 +214,10 @@ def _cell_specs(
 def _cell_shard(spec: Tuple) -> Dict[str, Any]:
     """Worker-process entry point: run one cell, return it as a plain
     dict (pool transport must not depend on rich-object pickling)."""
-    algo, model, fault, seed, threads, iters, horizon = spec
+    algo, model, fault, seed, threads, iters, horizon, fencing = spec
     return run_cell(
         algo, model, fault, seed,
-        threads=threads, iters=iters, horizon=horizon,
+        threads=threads, iters=iters, horizon=horizon, fencing=fencing,
     ).to_dict()
 
 
@@ -215,6 +231,7 @@ def run_matrix(
     horizon: int = 12_000,
     progress=None,
     workers: int = 0,
+    fencing: bool = True,
 ) -> NemesisResult:
     """Run the full nemesis matrix.  Deterministic in its arguments:
     the report dict is bit-identical across runs with the same inputs
@@ -226,7 +243,8 @@ def run_matrix(
     inherited module state can perturb a cell).  ``workers <= 1`` runs
     serially in-process.  With a pool, ``progress`` fires at merge time
     (spec order), not at cell completion."""
-    specs = _cell_specs(algos, models, classes, seed, threads, iters, horizon)
+    specs = _cell_specs(algos, models, classes, seed, threads, iters,
+                        horizon, fencing)
     cells: List[NemesisCell] = []
     if workers >= 2 and len(specs) > 1:
         ctx = multiprocessing.get_context("spawn")
@@ -242,6 +260,7 @@ def run_matrix(
             cell = run_cell(
                 spec[0], spec[1], spec[2], spec[3],
                 threads=spec[4], iters=spec[5], horizon=spec[6],
+                fencing=spec[7],
             )
             cells.append(cell)
             if progress is not None:

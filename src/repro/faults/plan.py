@@ -43,6 +43,27 @@ Crash-stop faults:
   ``duration`` cycles later: the core returns with an *empty* LCU and
   a fresh frame era; the threads that died stay dead.
 
+Gray failures (the victim is degraded or unreachable, *not* dead —
+the failure detector must tell these apart from crash-stop):
+
+* ``partition_links`` — window: an asymmetric link blackhole.  Frames
+  on matching links (``direction`` selects one orientation or both)
+  are dropped 100% until the seeded heal time ``end``; the reliable
+  layer retransmits them across the heal, so the partition delays
+  traffic without losing it.  On Model B with ``links="inter_chip"``
+  this is a hub brownout.
+* ``zombie_core``  — window: core ``core`` (or, preferred, a victim
+  currently holding live lock state) freezes — threads stop
+  dispatching *and* its protocol links blackhole — for ``duration``
+  cycles, then resumes.  The stall is sized past the LRT lease, so
+  the zombie is reclaimed away and later wakes up still believing it
+  holds; fencing tokens are what keep its stale operations out.
+* ``slow_core``    — gray degradation, not a stop: core ``core``
+  dispatches every operation ``factor``× slower from ``at`` on (for
+  ``duration`` cycles, or for the rest of the run when 0).  A slow
+  core still heartbeats and answers probes — the suspicion-level
+  failure detector must keep probing it patiently, never reclaim it.
+
 ``links`` selects which directed endpoint pairs a message fault (and
 the reliable layer protecting them) applies to:
 
@@ -50,6 +71,11 @@ the reliable layer protecting them) applies to:
 * ``"inter_chip"`` — links crossing a chip boundary (Model B's hub
   links; on Model A this matches nothing for a single-chip config).
 * ``"all"``       — every non-self link carrying protocol messages.
+
+``direction`` (``partition_links`` only) picks the failing
+orientation: ``"fwd"`` (core→LRT / lower→higher chip), ``"rev"`` (the
+reverse), or ``"both"``.  One-directional blackholes are the
+interesting case — acks keep flowing while data vanishes.
 """
 
 from __future__ import annotations
@@ -59,7 +85,10 @@ import json
 import random
 from typing import Any, Dict, List, Sequence, Tuple
 
-FORMAT = 1
+FORMAT = 2
+#: formats this reader accepts (format 2 added the gray-failure
+#: classes and the ``direction``/``factor`` event fields)
+ACCEPTED_FORMATS = (1, 2)
 
 #: message-level fault classes (need the reliable layer)
 MESSAGE_CLASSES: Tuple[str, ...] = ("drop", "dup", "delay")
@@ -74,11 +103,19 @@ SCHED_CLASSES: Tuple[str, ...] = ("preempt", "stall")
 #: unrecoverable software-lock holder death is the liveness oracle's
 #: sabotage scenario, not a survivable fault)
 CRASH_CLASSES: Tuple[str, ...] = ("crash_core", "restart_core")
+#: gray failures — degraded or unreachable but *alive*: asymmetric
+#: partitions, zombie holders stalled past their lease, and slow cores.
+#: Universal (every algorithm), like the scheduling classes.
+GRAY_CLASSES: Tuple[str, ...] = (
+    "partition_links", "zombie_core", "slow_core",
+)
 ALL_CLASSES: Tuple[str, ...] = (
     MESSAGE_CLASSES + LCU_ONLY_CLASSES + SCHED_CLASSES + CRASH_CLASSES
+    + GRAY_CLASSES
 )
 
 LINK_SETS: Tuple[str, ...] = ("lcu_lrt", "inter_chip", "all")
+DIRECTIONS: Tuple[str, ...] = ("both", "fwd", "rev")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -92,14 +129,20 @@ class FaultEvent:
     links: str = "lcu_lrt"     # message faults: which links
     max_delay: int = 0         # "delay": per-frame delay bound
     limit: int = 0             # "capacity": forced entry limit
-    core: int = 0              # "stall": which core
+    core: int = 0              # "stall"/"zombie"/"slow": which core
     migrate: bool = False      # "preempt": restart threads elsewhere
+    direction: str = "both"    # "partition_links": failing orientation
+    factor: float = 0.0        # "slow_core": dispatch slowdown multiple
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_CLASSES:
             raise ValueError(f"unknown fault class {self.kind!r}")
         if self.links not in LINK_SETS:
             raise ValueError(f"unknown link set {self.links!r}")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.kind == "slow_core" and self.factor < 1.0:
+            raise ValueError("slow_core needs factor >= 1.0")
 
     @property
     def end(self) -> int:
@@ -139,7 +182,14 @@ class FaultPlan:
         return tuple(seen)
 
     def needs_reliable(self) -> bool:
-        return any(e.kind in MESSAGE_CLASSES for e in self.events)
+        # partitions and zombies blackhole frames: only the reliable
+        # layer's retransmission makes them heal-able, and its
+        # heartbeats are what feed the suspicion detector
+        return any(
+            e.kind in MESSAGE_CLASSES
+            or e.kind in ("partition_links", "zombie_core")
+            for e in self.events
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -154,7 +204,7 @@ class FaultPlan:
         if unknown:
             raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
         fmt = data.get("format", FORMAT)
-        if fmt != FORMAT:
+        if fmt not in ACCEPTED_FORMATS:
             raise ValueError(f"unsupported FaultPlan format {fmt!r}")
         return cls(
             seed=data["seed"],
@@ -223,6 +273,38 @@ def generate_plan(
                     at=when(),
                     duration=rng.randrange(2_000, 20_000),
                     core=rng.randrange(cores),
+                ))
+            elif kind == "partition_links":
+                # asymmetric by default: one orientation blackholes,
+                # the reverse stays clean; heal at the window end
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    duration=rng.randrange(
+                        max(2, horizon // 8), max(3, horizon // 2)
+                    ),
+                    prob=1.0,
+                    links=links,
+                    direction=rng.choice(("fwd", "rev")),
+                ))
+            elif kind == "zombie_core":
+                # sized past the default LRT lease (50k cycles of
+                # silence) plus the probe ladder, so the holder is
+                # reclaimed away *before* it resumes
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    duration=rng.randrange(65_000, 115_000),
+                    core=rng.randrange(cores),
+                ))
+            elif kind == "slow_core":
+                # persistent (duration 0): the degradation never heals
+                # within the run — gray, not transient
+                events.append(FaultEvent(
+                    kind=kind,
+                    at=when(),
+                    core=rng.randrange(cores),
+                    factor=float(rng.choice((2, 3, 4))),
                 ))
             elif kind == "preempt":
                 events.append(FaultEvent(

@@ -106,6 +106,12 @@ class LockControlUnit:
         #: still dead weight in the LRT's queue: re-requesting before the
         #: reclaim's QueueReset would enqueue the same node twice
         self._evicted: set = set()
+        #: fence tokens armed (gray-failure hardening): releases echo
+        #: their hold's (gen, era) pair so the LRT can reject zombies
+        self._fencing = False
+        #: addr -> last fence era seen on a grant (diagnostic half of
+        #: the token; enforcement is on the generation floor)
+        self._era_seen: Dict[int, int] = {}
 
         self.stats: Dict[str, int] = {
             "acquires": 0, "releases": 0, "transfers": 0, "timeouts": 0,
@@ -146,6 +152,20 @@ class LockControlUnit:
 
     def _send_lrt(self, addr: int, m: object) -> None:
         self._net.send(self._endpoint, self._lrt_ep_of(addr), m)
+
+    def _release_msg(
+        self, addr: int, rel: Who, overflow: bool, gen: int = -1
+    ) -> msg.ReleaseMsg:
+        """Build a release, echoing the hold's fence token when fencing
+        is armed (``gen`` is the hold's generation; the era half is the
+        last one a grant delivered).  Unfenced builds keep the legacy
+        wildcard, byte-for-byte."""
+        if not self._fencing:
+            return msg.ReleaseMsg(addr, rel, overflow)
+        return msg.ReleaseMsg(
+            addr, rel, overflow,
+            gen=gen, era=self._era_seen.get(addr, 0),
+        )
 
     def _fire(self, addr: int, tid: int) -> None:
         sig = self._signals.get((addr, tid))
@@ -220,11 +240,17 @@ class LockControlUnit:
     # ------------------------------------------------------------------ #
     # fault injection surface (repro.faults; inert unless used)
 
-    def harden(self) -> None:
+    def harden(self, fencing: bool = True) -> None:
         """Switch protocol-bug symptoms (grant for a missing entry, stale
         forwards) from loud :class:`ProtocolError` to structured recovery
-        via the LRT's orphan-queue reclamation."""
+        via the LRT's orphan-queue reclamation.
+
+        ``fencing`` arms fence-token echoing on releases and the
+        structured :class:`~repro.lcu.messages.FencedOperation` answers
+        to dead-era forwards; ``False`` is the sabotage mode (see
+        ``repro faults --no-fencing``)."""
         self.hardened = True
+        self._fencing = fencing
 
     def set_forced_capacity(self, limit: Optional[int]) -> None:
         """Temporarily cap the ordinary entry pool (``None`` restores the
@@ -287,7 +313,8 @@ class LockControlUnit:
             self.stats.get("flt_forced_evictions", 0) + 1
         )
         self._send_lrt(
-            addr, msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), False)
+            addr,
+            self._release_msg(addr, Who(tid, self.lcu_id, write), False, gen),
         )
         return True
 
@@ -373,7 +400,10 @@ class LockControlUnit:
             )
             self._observe("release", addr, tid, write)
             self._send_lrt(
-                addr, msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), False)
+                addr,
+                self._release_msg(
+                    addr, Who(tid, self.lcu_id, write), False, gen
+                ),
             )
         for key in [k for k in self._overflow_grants if k[1] in dead]:
             addr, tid = key
@@ -508,7 +538,9 @@ class LockControlUnit:
             self._observe("release", addr, tid, write)
             self._send_lrt(
                 addr,
-                msg.ReleaseMsg(addr, Who(tid, self.lcu_id, write), overflow),
+                self._release_msg(
+                    addr, Who(tid, self.lcu_id, write), overflow, e.gen
+                ),
             )
             return True
         if e.status == ACQ and e.write == write:
@@ -570,8 +602,9 @@ class LockControlUnit:
                 e.timer_seq += 1
                 self._send_lrt(
                     e.addr,
-                    msg.ReleaseMsg(
-                        e.addr, Who(e.tid, self.lcu_id, e.write), e.overflow
+                    self._release_msg(
+                        e.addr, Who(e.tid, self.lcu_id, e.write),
+                        e.overflow, e.gen,
                     ),
                 )
         else:
@@ -677,6 +710,10 @@ class LockControlUnit:
         e.gen = max(e.gen, m.gen)
         if m.lease:
             e.lease = max(e.lease, m.lease)
+        if m.era:
+            self._era_seen[m.addr] = max(
+                self._era_seen.get(m.addr, 0), m.era
+            )
 
         if m.overflow:
             if e.status not in (ISSUED, WAIT):
@@ -750,8 +787,9 @@ class LockControlUnit:
                 e.status = REL
                 self._send_lrt(
                     e.addr,
-                    msg.ReleaseMsg(
-                        e.addr, Who(e.tid, self.lcu_id, e.write), False
+                    self._release_msg(
+                        e.addr, Who(e.tid, self.lcu_id, e.write),
+                        False, e.gen,
                     ),
                 )
         else:
@@ -782,6 +820,20 @@ class LockControlUnit:
             self.stats["stale_fwds_dropped"] = (
                 self.stats.get("stale_fwds_dropped", 0) + 1
             )
+            if self._fencing:
+                # Tell the requestor its enqueue died with the old era
+                # (for FencedOperation the token fields carry the gen
+                # pair): its LCU frees the stale ISSUED/WAIT node if the
+                # QueueReset broadcast has not already, so the thread
+                # re-requests instead of waiting on a dropped forward.
+                self._send_lcu(
+                    m.req.lcu,
+                    msg.FencedOperation(
+                        m.addr, m.req.tid, "fwd",
+                        era=m.gen,
+                        current_era=self._reset_gen.get(m.addr, 0),
+                    ),
+                )
             return
         e = self._entries.get(key)
         parked = self._flt.get(m.addr)
@@ -822,14 +874,15 @@ class LockControlUnit:
                 # In a fault-free run re-allocation always finds one of
                 # the three, so the tail node must have been lost to a
                 # fault the LRT has not noticed yet.  Re-allocating would
-                # fabricate a phantom holder; nack instead — the LRT
-                # retries until the queue is reclaimed, at which point
-                # the retry is recognisably stale and dropped.
+                # fabricate a phantom holder; nack with ``phantom`` set
+                # so the LRT reclaims the broken chain instead of
+                # retrying (a retry could only false-match a newer node
+                # reusing this (addr, tid) key).
                 self.stats["phantom_fwds_refused"] = (
                     self.stats.get("phantom_fwds_refused", 0) + 1
                 )
                 self.stats["fwd_nacks"] += 1
-                self._send_lrt(m.addr, msg.FwdNack(m.addr, m))
+                self._send_lrt(m.addr, msg.FwdNack(m.addr, m, phantom=True))
                 return
             # We were the uncontended owner; re-allocate (paper Fig. 4b).
             e = self._alloc(m.addr, m.tail_tid, m.tail_write)
@@ -1009,10 +1062,20 @@ class LockControlUnit:
         self._evicted = {k for k in self._evicted if k[0] != m.addr}
         readers = 0
         survivor = -1
+        # Every surviving read hold at this LCU, by tid — converted ones
+        # *and* pre-existing overflow holders.  ``readers`` stays the
+        # conversion count (it alone feeds reader_cnt); the tid set goes
+        # to the invariant monitor so it can tell survivors from
+        # zombies when the era closes.
+        survivor_readers = {
+            tid for (a, tid) in self._overflow_grants if a == m.addr
+        }
         for (addr, tid), e in list(self._entries.items()):
             if addr != m.addr:
                 continue
             if e.overflow:
+                if e.status in (ACQ, RCV):
+                    survivor_readers.add(tid)
                 continue  # already LRT-accounted; its release is safe
             if e.status in (ISSUED, WAIT, RD_REL, REL):
                 # Dead-era waiters and completed releases: drop.  Waiter
@@ -1035,6 +1098,7 @@ class LockControlUnit:
                 e.next = None
                 e.gen = max(e.gen, m.gen)
                 readers += 1
+                survivor_readers.add(tid)
             elif e.status == RCV and not e.write and not e.pending_ovf:
                 # Share grant received but not yet claimed: same
                 # conversion; both the claim path and the grant timer
@@ -1044,6 +1108,7 @@ class LockControlUnit:
                 e.next = None
                 e.gen = max(e.gen, m.gen)
                 readers += 1
+                survivor_readers.add(tid)
             elif e.status == RCV and e.write and e.pending_ovf:
                 # A granted writer still awaiting OvfClear: its clearance
                 # died with the old era.  It never held the lock — drop
@@ -1079,6 +1144,7 @@ class LockControlUnit:
                 del self._held_gen[key]
                 self._overflow_grants.add(key)
                 readers += 1
+                survivor_readers.add(key[1])
         if self._flt.get(m.addr) is not None:
             # An FLT park is a *released* lock kept locally biased; the
             # new era starts from a clean table, so drop the bias (the
@@ -1089,8 +1155,44 @@ class LockControlUnit:
             )
         self._send_lrt(
             m.addr,
-            msg.QueueResetAck(m.addr, self.lcu_id, readers, survivor),
+            msg.QueueResetAck(
+                m.addr, self.lcu_id, readers, survivor,
+                reader_tids=tuple(sorted(survivor_readers)),
+            ),
         )
+
+    def _on_fenced(self, m: msg.FencedOperation) -> None:
+        """A fence rejection: an operation this LCU issued for
+        ``(addr, tid)`` carried a dead-era token — the hold it believed
+        in was reclaimed while the core was stalled or partitioned away.
+
+        Only a fenced *release* clears local state: the stale hold's
+        entry-less records die and the REL entry is freed so the
+        thread's release completes (no ack will ever come) and it
+        re-acquires through a fresh request.  A fenced *forward* is
+        informational — the QueueReset broadcast already rescued the
+        requestor, and by the time this arrives the (addr, tid) key
+        usually holds its live re-request, which must not be touched
+        (same newer-incarnation rule as :meth:`_on_dealloc`).
+
+        The thread may equally have re-acquired the *lock* before the
+        fence for its pre-stall release arrives, so every drop is
+        gen-guarded: only state at or below the fenced token's ``gen``
+        belongs to the stale hold.  Overflow records are never touched
+        — overflow releases are exempt from fencing entirely."""
+        key = (m.addr, m.tid)
+        self.stats["fenced_ops"] = self.stats.get("fenced_ops", 0) + 1
+        if m.op != "release":
+            return
+        held = self._held_gen.get(key)
+        if held is not None and (m.gen < 0 or held[0] <= m.gen):
+            del self._held_gen[key]
+        e = self._entries.get(key)
+        if (
+            e is not None and e.status == REL
+            and (m.gen < 0 or e.gen <= m.gen)
+        ):
+            self._free(e)
 
     def _on_queue_probe(self, m: msg.QueueProbe) -> None:
         """Idle-queue watchdog asking whether the queue head node this
@@ -1138,4 +1240,5 @@ _LCU_HANDLERS: dict = {
     msg.RemoteReleaseAck: "_on_remote_release_ack",
     msg.QueueReset: "_on_queue_reset",
     msg.QueueProbe: "_on_queue_probe",
+    msg.FencedOperation: "_on_fenced",
 }

@@ -49,6 +49,23 @@ _RESET_RETRY_BACKOFF = 5_000  # cycles before re-broadcasting a reset
 _RESET_RETRY_CAP = 40_000
 _RESET_MAX_ATTEMPTS = 8
 
+# Suspicion-level failure detector (gray-failure hardening).  When the
+# fault harness arms heartbeats (machine.start_heartbeats), each LRT
+# counts missed beats per core: suspicion = missed intervals, clamped to
+# the maximum.  A fully suspected core (partitioned, zombied, crashed)
+# is probed with the original fast ladder; a core that keeps beating is
+# probed with delays stretched by its remaining innocence — a *slow*
+# core must be waited out, not reclaimed.  Without heartbeat tracking
+# every core is maximally suspect, which reproduces the pre-detector
+# probe timings exactly (crash-class plans never arm heartbeats).
+_SUSPICION_MAX = 8
+_PROBE_PATIENCE_CAP = 30_000
+# With the detector armed, a reset broadcast whose unacked cores are all
+# maximally suspect force-completes after this many attempts instead of
+# _RESET_MAX_ATTEMPTS: the missing acks are from cores that are silent
+# to *everyone*, and the reliable layer redelivers the reset after heal.
+_RESET_SUSPECT_ATTEMPTS = 3
+
 
 class LrtEntry:
     """Lock state for one address (paper Figure 3, LRT side)."""
@@ -60,6 +77,7 @@ class LrtEntry:
         "last_activity", "reclaim_gen", "reset_pending", "probing",
         "lease_expiry", "probe_seq", "probe_attempts", "last_alive_probe",
         "reset_seq", "reset_attempts", "reset_survivor",
+        "reclaim_victim", "reset_reader_tids",
     )
 
     def __init__(self, addr: int) -> None:
@@ -103,6 +121,12 @@ class LrtEntry:
         # live writer reported by a QueueResetAck: re-seated as the new
         # era's queue head when the reset completes (see _reset_complete)
         self.reset_survivor: Optional[Who] = None
+        # gray-failure fencing bookkeeping: the queue head whose lease
+        # the in-flight reclaim revoked (the fence victim unless it is
+        # re-seated), and the read holders live LCUs enumerated in their
+        # acks (everything else holding this lock is fenced out)
+        self.reclaim_victim: Optional[Who] = None
+        self.reset_reader_tids: set = set()
 
     @property
     def queue_empty(self) -> bool:
@@ -153,6 +177,18 @@ class LockReservationTable:
         self._watchdog_interval = 0
         self._silence_threshold = 0
         self._lease_cycles = 0
+        #: fencing armed (harden(fencing=True)): releases bearing a
+        #: fence token from a reclaimed era are rejected with a
+        #: structured FencedOperation instead of acked idempotently
+        self._fencing = False
+        #: addr -> fence era (count of lease reclamations); the "era"
+        #: half of the (era, fence) token pair stamped on grants
+        self._era: Dict[int, int] = {}
+        # suspicion-level failure detector (enable_failure_detector):
+        # core -> cycle of the last heartbeat received here
+        self._hb_on = False
+        self._hb_interval = 0
+        self._last_heartbeat: Dict[int, int] = {}
         #: cores whose LCU has crashed (machine.crash_core notifies every
         #: LRT synchronously): reclaims skip them in reset broadcasts,
         #: and a queue whose head/tail lived there is revoked on the spot
@@ -163,6 +199,27 @@ class LockReservationTable:
         #: monotonic across entry removal/reinstall; only reclaims write
         #: here, so unfaulted runs never populate it.
         self._gen_floor: Dict[int, int] = {}
+        #: addr -> highest generation ever issued (hardened mode):
+        #: recorded when an entry is fully removed so a later reinstall
+        #: resumes *above* every gen of the previous queue episode.
+        #: Without this, gens restart at 1 and a delayed message from
+        #: the old episode (e.g. a retransmitted HeadNotify with gen=9)
+        #: outranks the fresh queue's gens, corrupting the head pointer
+        #: and routing a Dealloc to the wrong LCU.  Distinct from
+        #: ``_gen_floor``: the floor also fences releases, and a benign
+        #: late duplicate release from the old episode must be *acked*,
+        #: not fenced.
+        self._gen_high: Dict[int, int] = {}
+        #: addr -> cores whose QueueReset ack never arrived before the
+        #: handshake force-completed (zombie / partitioned-away LCUs).
+        #: Until such a core's late ack finally lands — the reliable
+        #: layer keeps retransmitting the reset across the heal — its
+        #: requests for the address are refused with Retry: the rejoin
+        #: is *fenced*, because the core still carries dead-era queue
+        #: nodes, and enqueuing its fresh request before it processes
+        #: the reset lets the stale reset kill the new entry and the
+        #: re-re-request self-link the queue.
+        self._unsynced: Dict[int, set] = {}
         #: cycles from orphan detection to fully acknowledged reset —
         #: harvested into the recovery-latency histogram (repro.obs)
         self.recovery_latencies: list = []
@@ -242,6 +299,12 @@ class LockReservationTable:
                 # Resume the post-reclaim era: a fresh gen of 1 would be
                 # rejected by the LCUs' dead-era fences.
                 e.gen = e.reclaim_gen = floor
+            if self.hardened:
+                high = self._gen_high.get(addr)
+                if high is not None and high > e.gen:
+                    # Resume above the previous queue episode so its
+                    # delayed traffic can never outrank fresh grants.
+                    e.gen = high
             self._live += 1
             if self._live > self.live_locks_highwater:
                 self.live_locks_highwater = self._live
@@ -262,8 +325,11 @@ class LockReservationTable:
     def _remove(self, addr: int) -> None:
         in_set = self._set_of(addr).pop(addr, None)
         in_ovf = self._overflow.pop(addr, None)
-        if in_set is not None or in_ovf is not None:
+        gone = in_set if in_set is not None else in_ovf
+        if gone is not None:
             self._live -= 1
+            if self.hardened and gone.gen > self._gen_high.get(addr, 0):
+                self._gen_high[addr] = gone.gen
 
     @property
     def live_locks(self) -> int:
@@ -276,7 +342,13 @@ class LockReservationTable:
         self._net.send(self._endpoint, ("core", lcu_id), m)
 
     def on_message(self, _src: Endpoint, m: object) -> None:
-        """Network delivery: serialize through the LRT pipeline."""
+        """Network delivery: serialize through the LRT pipeline.
+        Heartbeats are liveness beacons, not queue operations: they are
+        absorbed here (no lock address, no pipeline slot) so a beating
+        core can never be delayed behind lock traffic."""
+        if m.__class__ is msg.Heartbeat:
+            self._last_heartbeat[m.core] = self._sim.now
+            return
         penalty = self._lookup_penalty(self._addr_of(m))
         self._server.request(
             self._config.lrt_latency + penalty, lambda: self._process(m)
@@ -304,6 +376,7 @@ class LockReservationTable:
         watchdog_interval: int = 20_000,
         silence_threshold: int = 50_000,
         lease_cycles: Optional[int] = None,
+        fencing: bool = True,
     ) -> None:
         """Arm fault tolerance: tolerate the message anomalies the
         nemesis injects (stray releases, stale notifications, dead queue
@@ -312,16 +385,48 @@ class LockReservationTable:
         issued while hardened carry a lease expiring ``lease_cycles``
         after issue (default: the silence threshold); a queue that stays
         silent past its lease with a head that is provably not holding
-        is revoked by the lease watchdog (crash recovery)."""
+        is revoked by the lease watchdog (crash recovery).
+
+        ``fencing`` additionally arms fence-token enforcement: a
+        release whose generation predates the address's reclaim floor —
+        a zombie holder whose lease was revoked while it was stalled or
+        partitioned away — is rejected with a structured
+        :class:`~repro.lcu.messages.FencedOperation` instead of the
+        idempotent ack (which would be silent success).  ``False`` is
+        the sabotage mode the zombie-writer invariant check must catch.
+        """
         if self.hardened:
             return
         self.hardened = True
+        self._fencing = fencing
         self._watchdog_interval = watchdog_interval
         self._silence_threshold = silence_threshold
         self._lease_cycles = (
             lease_cycles if lease_cycles is not None else silence_threshold
         )
         self._sim.after(watchdog_interval, self._watchdog_tick)
+
+    def enable_failure_detector(self, interval: int) -> None:
+        """Arm the suspicion-level failure detector: the machine is
+        about to start per-core heartbeats every ``interval`` cycles
+        (machine.start_heartbeats).  Probe and reset ladders scale with
+        per-core suspicion from now on; without this call every core is
+        maximally suspect and the ladders match the pre-detector timing
+        exactly."""
+        self._hb_on = True
+        self._hb_interval = interval
+
+    def _suspicion_of(self, core: int) -> int:
+        """Missed-heartbeat count for ``core``, clamped to
+        ``_SUSPICION_MAX``.  Maximal when the detector is disarmed or
+        the core has never been heard from."""
+        if not self._hb_on:
+            return _SUSPICION_MAX
+        last = self._last_heartbeat.get(core)
+        if last is None:
+            return _SUSPICION_MAX
+        missed = (self._sim.now - last) // self._hb_interval
+        return missed if missed < _SUSPICION_MAX else _SUSPICION_MAX
 
     def note_dead_core(self, core: int) -> None:
         """Crash notification (machine.crash_core, synchronous): core
@@ -333,6 +438,10 @@ class LockReservationTable:
         self.stats["dead_core_notes"] = (
             self.stats.get("dead_core_notes", 0) + 1
         )
+        # A crash voids the rejoin gate: the dead-era nodes died with
+        # the LCU, and the late ack the gate waits for can never come.
+        for synced in self._unsynced.values():
+            synced.discard(core)
         for store in list(self._sets.values()) + [self._overflow]:
             for e in list(store.values()):
                 if core in e.reset_pending:
@@ -353,8 +462,12 @@ class LockReservationTable:
 
     def note_live_core(self, core: int) -> None:
         """Rebirth notification (machine.restart_core): the core's LCU is
-        back — empty — and reset broadcasts include it again."""
+        back — empty — and reset broadcasts include it again.  The
+        failure detector grants it a fresh innocence window so the
+        first probe after rebirth is not instantly fast-laddered."""
         self._dead_cores.discard(core)
+        if self._hb_on:
+            self._last_heartbeat[core] = self._sim.now
 
     def _watchdog_tick(self) -> None:
         if not self.hardened:
@@ -388,6 +501,14 @@ class LockReservationTable:
         self.stats["probes"] = self.stats.get("probes", 0) + 1
         self._send_lcu(e.head.lcu, msg.QueueProbe(addr, e.head.tid))
         delay = min(_PROBE_TIMEOUT << (attempt - 1), _PROBE_TIMEOUT_CAP)
+        if self._hb_on:
+            # Adaptive timeout: stretch the retry by the probed core's
+            # remaining innocence.  A core whose beats keep arriving is
+            # slow, not gone — give it time instead of reclaiming a
+            # live holder; a fully suspected core keeps the fast ladder.
+            patience = _SUSPICION_MAX - self._suspicion_of(e.head.lcu)
+            if patience > 0:
+                delay = min(delay * (1 + patience), _PROBE_PATIENCE_CAP)
         self._sim.after(delay, lambda: self._probe_timeout(addr, seq))
 
     def _probe_timeout(self, addr: int, seq: int) -> None:
@@ -466,6 +587,9 @@ class LockReservationTable:
             self.stats.get(f"reclaims_{reason}", 0) + 1
         )
         self._reclaim_started[e.addr] = self._sim.now
+        self._era[e.addr] = self._era.get(e.addr, 0) + 1
+        e.reclaim_victim = e.head
+        e.reset_reader_tids = set()
         e.gen += RECLAIM_GEN_STRIDE
         e.reclaim_gen = e.gen
         self._gen_floor[e.addr] = e.gen
@@ -508,8 +632,18 @@ class LockReservationTable:
         if e is None or e.reset_seq != seq or not e.reset_pending:
             return
         e.reset_attempts += 1
-        if e.reset_attempts >= _RESET_MAX_ATTEMPTS:
+        if e.reset_attempts >= _RESET_MAX_ATTEMPTS or (
+            self._hb_on
+            and e.reset_attempts >= _RESET_SUSPECT_ATTEMPTS
+            and all(
+                self._suspicion_of(c) >= _SUSPICION_MAX
+                for c in e.reset_pending
+            )
+        ):
             self.stats["reset_forced"] = self.stats.get("reset_forced", 0) + 1
+            silent = e.reset_pending - self._dead_cores
+            if silent:
+                self._unsynced.setdefault(addr, set()).update(silent)
             e.reset_pending.clear()
             self._reset_complete(e)
             return
@@ -544,16 +678,49 @@ class LockReservationTable:
                 self.stats.get("reset_reseats", 0) + 1
             )
         e.reset_survivor = None
+        # Era-close notification for the invariant monitor: the acks
+        # enumerated every hold that survived the reclaim at a live LCU
+        # ("survivor" events), and anything else still believing it
+        # holds this lock is a zombie — fenced out when fencing is
+        # armed, or merely *recorded* in sabotage mode so the monitor's
+        # zombie-writer check can prove the hole.  Skipped when the
+        # victim died with its core: crash recovery already voided it.
+        victim = e.reclaim_victim
+        e.reclaim_victim = None
+        if (
+            self.observer is not None
+            and victim is not None
+            and victim.lcu not in self._dead_cores
+        ):
+            survivors = set(e.reset_reader_tids)
+            seated = e.head.tid if e.head is not None else None
+            if seated is not None:
+                survivors.add(seated)
+            for t in sorted(survivors):
+                self._observe("survivor", e.addr, t, t == seated)
+            self._observe(
+                "fenced" if self._fencing else "reclaim",
+                e.addr, victim.tid, victim.write,
+            )
+        e.reset_reader_tids = set()
         # Readers that survived the reset now gate the next writer
         # through the ordinary overflow-drain machinery.
         self._drained_check(e)
 
     def _on_reset_ack(self, m: msg.QueueResetAck) -> None:
+        synced = self._unsynced.get(m.addr)
+        if synced is not None:
+            # The late ack from a zombie or partitioned-away core: it
+            # has finally processed the reset, so its rejoin gate lifts.
+            synced.discard(m.lcu)
+            if not synced:
+                del self._unsynced[m.addr]
         e = self.entry(m.addr)
         if e is None or m.lcu not in e.reset_pending:
             return
         e.reset_pending.discard(m.lcu)
         e.reader_cnt += m.readers
+        e.reset_reader_tids.update(m.reader_tids)
         if m.writer_tid >= 0:
             e.reset_survivor = Who(m.writer_tid, m.lcu, True)
         if not e.reset_pending:
@@ -571,6 +738,20 @@ class LockReservationTable:
             # Mid-reclaim: surviving reader counts are still being
             # collected, so a grant issued now could skip the overflow
             # drain.  Refuse; the software layer re-requests.
+            self._retry(req, m.addr, m.seq)
+            return
+
+        synced = self._unsynced.get(m.addr)
+        if synced and req.lcu in synced:
+            # Fenced rejoin: the requesting core never acknowledged the
+            # reset that closed its era and still carries dead-era
+            # nodes.  Refuse until its late QueueResetAck lands (the
+            # reliable channel delivers the reset before this Retry,
+            # and the ack before the re-request, so the gate lifts in
+            # bounded time).
+            self.stats["rejoin_retries"] = (
+                self.stats.get("rejoin_retries", 0) + 1
+            )
             self._retry(req, m.addr, m.seq)
             return
 
@@ -629,6 +810,7 @@ class LockReservationTable:
                         m.addr, req.tid, head=False, gen=e.gen,
                         from_lrt=True, overflow=True,
                         lease=self._lease_stamp(e),
+                        era=self._era.get(m.addr, 0),
                     ),
                 )
                 return
@@ -664,7 +846,8 @@ class LockReservationTable:
             self._send_lcu(
                 req.lcu,
                 msg.Grant(m.addr, req.tid, head=False, gen=e.gen,
-                          from_lrt=True, lease=self._lease_stamp(e)),
+                          from_lrt=True, lease=self._lease_stamp(e),
+                          era=self._era.get(m.addr, 0)),
             )
         self._forward(e, m.addr, req, m.seq)
 
@@ -739,6 +922,7 @@ class LockReservationTable:
             msg.Grant(
                 addr, req.tid, head=head, gen=gen,
                 from_lrt=True, confirm_required=confirm, lease=lease,
+                era=self._era.get(addr, 0),
             ),
         )
 
@@ -753,6 +937,8 @@ class LockReservationTable:
     def _on_release(self, m: msg.ReleaseMsg) -> None:
         self.stats["releases"] += 1
         e = self.entry(m.addr)
+        if self._fenced_release(e, m):
+            return
         if e is None:
             if self.hardened:
                 # A release whose lock state is gone (reclaimed, or the
@@ -834,6 +1020,58 @@ class LockReservationTable:
                 m.addr, rel.tid, rel.write, rel.lcu, e.head.tid
             ),
         )
+
+    def _fenced_release(self, e: Optional[LrtEntry], m: msg.ReleaseMsg) -> bool:
+        """Fence-token check on a release (gray-failure hardening).
+
+        A release whose ``gen`` predates the address's reclaim floor was
+        issued under a lease era that has since been reclaimed — its
+        sender is a zombie that stalled through its lease and resumed.
+        Answering it with a plain ack would silently absorb the stale
+        hold; instead the releaser gets a structured
+        :class:`~repro.lcu.messages.FencedOperation` so its thread is
+        routed through a fresh acquire.
+
+        Exemptions (legitimate old-gen releases that must NOT fence):
+
+        * overflow releases — overflow accounting is already idempotent,
+          and fencing one would wedge the ``reader_cnt`` drain a reset
+          re-credited;
+        * mid-reset (``reset_pending``) — no grants are issued during
+          the handshake, so there is no exclusion at risk; the existing
+          stray-ack / survivor machinery owns these races;
+        * the current head or the reset survivor — a live holder that
+          the reclaim re-seated keeps its pre-reset generation.
+        """
+        if (
+            not self._fencing
+            or m.overflow
+            or m.gen < 0                         # legacy wildcard
+            or m.gen >= self._gen_floor.get(m.addr, 0)
+        ):
+            return False
+        rel = m.rel
+        if e is not None:
+            if e.reset_pending:
+                return False
+            if e.head is not None and (e.head.tid, e.head.lcu) == (
+                rel.tid, rel.lcu,
+            ):
+                return False
+            if e.reset_survivor is not None and e.reset_survivor.tid == rel.tid:
+                return False
+        self.stats["fenced_releases"] = (
+            self.stats.get("fenced_releases", 0) + 1
+        )
+        self._send_lcu(
+            rel.lcu,
+            msg.FencedOperation(
+                m.addr, rel.tid, "release",
+                era=m.era, current_era=self._era.get(m.addr, 0),
+                gen=m.gen,
+            ),
+        )
+        return True
 
     def _drained_check(self, e: LrtEntry) -> None:
         if e.reader_cnt == 0 and e.pending_ovf_writer is not None:
@@ -923,6 +1161,18 @@ class LockReservationTable:
                 # The forwarded requestor's WAIT node died with the old
                 # era (the QueueReset broadcast frees it and wakes the
                 # thread); nothing to redeliver.
+                return
+            if m.phantom:
+                # Current-era phantom: the target LCU has no trace of
+                # the named tail holding anything, and that state cannot
+                # reappear — the queue chain is broken at this link for
+                # good.  Retrying would eventually false-match a *newer*
+                # entry that reuses the tail's (addr, tid) key (e.g. the
+                # healed zombie's next request), splicing a stale link
+                # into the live queue and closing a cycle.  Reclaim
+                # instead: the reset frees every waiter (including the
+                # forwarded requestor) to re-enter the new era cleanly.
+                self._reclaim(self._install(m.addr), "phantom_tail")
                 return
         self._sim.after(
             _FWD_RETRY_BACKOFF, lambda: self._send_lcu(fwd.tail_lcu, fwd)

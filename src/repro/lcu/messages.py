@@ -75,9 +75,19 @@ class FwdRequest:
 @dataclasses.dataclass(frozen=True, slots=True)
 class FwdNack:
     """tail LCU -> LRT: could not re-allocate an entry for the forwarded
-    request (LCU full); the LRT retries after a backoff."""
+    request (LCU full); the LRT retries after a backoff.
+
+    ``phantom=True`` is a stronger refusal (hardened mode): the LCU has
+    *no trace at all* of the named tail holding anything — no entry, no
+    held-generation record, no FLT park.  That state cannot come back,
+    so retrying the forward can never legitimately succeed; it could
+    only false-match a newer queue node reusing the tail's (addr, tid)
+    key and splice a stale link into the live queue.  The LRT treats a
+    current-era phantom as a broken chain and reclaims instead of
+    retrying."""
     addr: int
     original: FwdRequest
+    phantom: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -105,6 +115,13 @@ class Grant:
       (hardened mode; 0 = unleased).  Issued by the LRT with its grants;
       the per-entry lease watchdog may revoke a queue whose lease has
       expired with no observable progress (crash recovery).
+    * ``era``        — the grant's fence token era (hardened mode).
+      Together with ``gen`` it forms the monotone ``(era, fence)``
+      pair: ``era`` counts lease reclamations of the address and
+      ``gen`` orders grants within an era.  Memory-side handlers
+      reject operations whose token predates the current era — a
+      zombie holder reclaimed away during a stall gets a structured
+      :class:`FencedOperation` instead of silent success.
     """
     addr: int
     tid: int
@@ -114,6 +131,7 @@ class Grant:
     overflow: bool = False
     confirm_required: bool = False
     lease: int = 0
+    era: int = 0
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -129,10 +147,18 @@ class Retry:
 @dataclasses.dataclass(frozen=True, slots=True)
 class ReleaseMsg:
     """LCU -> LRT: release of an uncontended lock, an overflow-mode read
-    grant, or a migrated thread's lock (paper's RELEASE)."""
+    grant, or a migrated thread's lock (paper's RELEASE).
+
+    ``gen``/``era`` echo the hold's fence token (hardened mode).  The
+    LRT rejects a release whose token predates the address's current
+    fence era with a :class:`FencedOperation` — the releaser is a
+    zombie whose hold was reclaimed away.  ``gen=-1`` is the legacy
+    wildcard (unhardened paths never fence)."""
     addr: int
     rel: Who
     overflow: bool = False
+    gen: int = -1
+    era: int = 0
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -282,8 +308,55 @@ class QueueResetAck:
     *tail* or middle node orphans the queue just the same, and then the
     era reset runs while the head legitimately holds.  The LRT re-seats
     the reported writer as the new era's queue head so nothing is
-    granted over a live write hold."""
+    granted over a live write hold.
+
+    ``reader_tids`` enumerates *every* surviving read holder at this
+    LCU — the newly-converted ones counted in ``readers`` plus holders
+    that were already overflow-accounted before the reset.  The LRT
+    forwards the union to the invariant monitor when the era closes, so
+    the monitor can tell live survivors from zombies whose holds were
+    reclaimed away (``readers`` stays the conversion count only; it
+    alone feeds ``reader_cnt``)."""
     addr: int
     lcu: int
     readers: int
     writer_tid: int = -1
+    reader_tids: tuple = ()
+
+
+# --------------------------------------------------------------------- #
+# gray-failure hardening messages (fencing + failure detection)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FencedOperation:
+    """LRT -> LCU (hardened mode, fencing armed): the operation named by
+    ``op`` carried a fence token from a superseded era — its issuer is a
+    zombie whose lease was reclaimed while it was stalled or partitioned
+    away.  The LCU drops the stale local hold state and completes the
+    thread's instruction with a fenced result, routing it through a
+    fresh acquire instead of silent success."""
+    addr: int
+    tid: int
+    op: str                 # "release" | "fwd"
+    era: int                # the stale token's era
+    current_era: int        # the address's live era
+    #: the fenced token's ``gen`` — lets the LCU tell the stale hold's
+    #: leftovers from a *newer incarnation* under the same (addr, tid)
+    #: key (the thread may have re-acquired before this arrives); only
+    #: state at or below this generation may be dropped.  -1 = unknown
+    #: (legacy senders): match any generation.
+    gen: int = -1
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """core LCU -> every LRT (hardened mode, periodic): liveness beacon
+    feeding the per-core suspicion-level failure detector.  Carried as
+    a best-effort datagram by the reliable layer (never retransmitted —
+    a lost beat IS the signal), but still subject to wire faults: a
+    partitioned or zombied core's beats stop arriving (suspicion climbs
+    toward reclaim-fast) while a merely slow core keeps beating (the
+    lease watchdog probes it patiently instead of reclaiming a live
+    holder)."""
+    core: int

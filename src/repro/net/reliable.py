@@ -76,6 +76,26 @@ class AckFrame:
     era: int = 0
 
 
+@dataclasses.dataclass(frozen=True)
+class Datagram:
+    """Best-effort envelope: faulted like a :class:`Frame` (blackholes
+    and drops apply at the wire), but unsequenced, never acked and never
+    retransmitted — no pending state at all.
+
+    Liveness beacons ride in these.  A heartbeat's *absence* is the
+    failure detector's signal, so retransmitting one would defeat its
+    purpose; worse, N cores beating every LRT as sequenced frames under
+    a lossy wire melts the fabric with retransmissions (each beat
+    occupies per-pair sequence space and head-of-line-blocks real lock
+    traffic behind its ack).  Losing a datagram costs nothing: the next
+    beat is a full liveness proof on its own."""
+    payload: Any
+
+
+#: payload types carried as datagrams instead of sequenced frames
+_DATAGRAM_TYPES = (lcu_msgs.Heartbeat,)
+
+
 class _Pending:
     __slots__ = ("payload", "on_deliver", "attempt", "delivered")
 
@@ -121,6 +141,7 @@ class ReliableLayer:
         self._era: Dict[Pair, int] = {}
 
         self.frames_sent = 0
+        self.datagrams_sent = 0
         self.acks_sent = 0
         self.retransmits = 0
         self.dups_suppressed = 0
@@ -150,7 +171,7 @@ class ReliableLayer:
 
     @staticmethod
     def intercepts(payload: Any) -> bool:
-        return isinstance(payload, (Frame, AckFrame))
+        return isinstance(payload, (Frame, AckFrame, Datagram))
 
     def pending_frames(self) -> int:
         """Logical sends not yet acked (0 == channel fully drained)."""
@@ -159,6 +180,7 @@ class ReliableLayer:
     def stats(self) -> Dict[str, int]:
         return {
             "frames_sent": self.frames_sent,
+            "datagrams_sent": self.datagrams_sent,
             "acks_sent": self.acks_sent,
             "retransmits": self.retransmits,
             "dups_suppressed": self.dups_suppressed,
@@ -203,6 +225,13 @@ class ReliableLayer:
         payload: Any,
         on_deliver: Optional[Callable[[], None]],
     ) -> None:
+        if isinstance(payload, _DATAGRAM_TYPES):
+            # Best-effort: onto the wire once, no sequence, no pending
+            # entry, no ack, no retransmission.  Still injected below
+            # the fault filter so blackholes and drops starve it.
+            self.datagrams_sent += 1
+            self._net._inject(src, dst, Datagram(payload), on_deliver)
+            return
         pair = (src, dst)
         seq = self._send_seq.get(pair, 0)
         self._send_seq[pair] = seq + 1
@@ -234,6 +263,9 @@ class ReliableLayer:
     # receiver side (called from Network._deliver)
 
     def on_wire(self, src: Endpoint, dst: Endpoint, payload: Any) -> None:
+        if isinstance(payload, Datagram):
+            self._net._handlers[dst](src, payload.payload)
+            return
         if isinstance(payload, AckFrame):
             # ack for the reverse direction: dst originally sent to src
             if payload.era != self._era.get((dst, src), 0):

@@ -102,7 +102,7 @@ def test_save_load_round_trip(tmp_path):
     )
     path = tmp_path / "case.json"
     doc = save_case(case, path)
-    assert doc["format"] == 3
+    assert doc["format"] == 4
     assert load_case(path) == case
 
 

@@ -201,7 +201,7 @@ class TestBackoff:
         layer = make_reliable(sim, net)
         s = layer.stats()
         assert set(s) == {
-            "frames_sent", "acks_sent", "retransmits",
+            "frames_sent", "datagrams_sent", "acks_sent", "retransmits",
             "dups_suppressed", "holdbacks", "pending",
             "era_bumps", "era_drops",
         }
@@ -326,3 +326,85 @@ class TestDetach:
         sim.run()
         assert [p.tid for p in got] == [1, 2]
         assert layer.frames_sent == 1, "post-detach send must not frame"
+
+
+class TestAsymmetricLoss:
+    """Gray-failure coverage: an asymmetric partition blackholes one
+    direction of a link 100% while the reverse path stays clean — the
+    shape ``partition_links`` injects.  Whichever direction is dark
+    (data frames out, or acks back), after the heal the channel must
+    converge: every message delivered exactly once, in order, zero
+    pending, and the retransmit clock pinned at the RTO cap for the
+    duration of the blackhole."""
+
+    def test_forward_blackhole_heals_and_converges(self):
+        # data direction CORE0 -> CORE1 dark; acks CORE1 -> CORE0 clean
+        sim, net = make_net()
+        layer = make_reliable(sim, net, rto_base=16, rto_cap=128)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+
+        def blackhole(src, dst, payload):
+            if isinstance(payload, Frame) and src == CORE0 \
+                    and sim.now < 2_000:
+                return []
+            return [(0, payload)]
+
+        net.fault_filter = blackhole
+        msgs = [Dealloc(0x100, t) for t in range(3)]
+        for m in msgs:
+            net.send(CORE0, CORE1, m)
+        sim.run()
+        assert got == msgs, "heal must deliver exactly once, in order"
+        assert layer.retransmits >= 1
+        assert layer.pending_frames() == 0, "acks must converge after heal"
+
+    def test_ack_blackhole_no_duplicate_delivery(self):
+        # data direction clean; ack direction CORE1 -> CORE0 dark: the
+        # sender keeps retransmitting already-delivered frames and the
+        # receiver must suppress every duplicate
+        sim, net = make_net()
+        layer = make_reliable(sim, net, rto_base=16, rto_cap=128)
+        got = []
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: got.append(p))
+
+        def blackhole(src, dst, payload):
+            if isinstance(payload, AckFrame) and src == CORE1 \
+                    and sim.now < 2_000:
+                return []
+            return [(0, payload)]
+
+        net.fault_filter = blackhole
+        msgs = [Dealloc(0x100, t) for t in range(3)]
+        for m in msgs:
+            net.send(CORE0, CORE1, m)
+        sim.run()
+        assert got == msgs, "dup suppression must hold under ack loss"
+        assert layer.dups_suppressed >= 1, \
+            "the dark ack path must actually force duplicates"
+        assert layer.pending_frames() == 0
+
+    def test_one_way_blackhole_rto_flattens_at_cap(self):
+        sim, net = make_net()
+        layer = make_reliable(sim, net, rto_base=16, rto_cap=128)
+        net.register(CORE0, lambda s, p: None)
+        net.register(CORE1, lambda s, p: None)
+        times = []
+
+        def blackhole(src, dst, payload):
+            if isinstance(payload, Frame) and src == CORE0:
+                times.append(sim.now)
+                if sim.now < 2_000:
+                    return []
+            return [(0, payload)]
+
+        net.fault_filter = blackhole
+        net.send(CORE0, CORE1, Dealloc(0x100, 1))
+        sim.run()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == sorted(gaps), "RTO must be non-decreasing"
+        assert all(g <= 128 for g in gaps), "RTO must respect the cap"
+        assert gaps.count(128) >= 3, "long blackhole must flatten at cap"
+        assert layer.pending_frames() == 0
